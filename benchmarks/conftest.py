@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one published table or figure (or an ablation
+of a design choice).  Simulation runs are seconds long, so benchmarks use
+``benchmark.pedantic`` with a single round — the interesting output is the
+regenerated artifact (printed with ``-s``) and the asserted shape, not
+nanosecond timing stability.
+"""
+
+import pytest
+
+from repro.experiments import BenchmarkRunner
+
+#: One full-scale runner shared by the table/figure benchmarks so the
+#: expensive per-benchmark runs are computed once per session.
+_RUNNER = BenchmarkRunner(scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def runner() -> BenchmarkRunner:
+    return _RUNNER
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once through pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,34 @@
+"""Ablation: PS-DSWP scaling with core count (2 / 4 / 8).
+
+The snoopy-bus design targets small core counts (the paper's future work
+proposes a directory protocol for more); speedup should grow from 2 to 4
+cores and keep growing — sublinearly — to 8.
+"""
+
+from conftest import run_once
+
+from repro.core import MachineConfig
+from repro.runtime import run_ps_dswp, run_sequential
+from repro.workloads import LinkedListWorkload
+
+
+def _speedup(num_cores: int) -> float:
+    seq = run_sequential(LinkedListWorkload(nodes=48, work_cycles=600))
+    workload = LinkedListWorkload(nodes=48, work_cycles=600)
+    par = run_ps_dswp(workload, MachineConfig(num_cores=num_cores))
+    assert workload.observed_result(par.system) == \
+        workload.expected_result(par.system)
+    return seq.cycles / par.cycles
+
+
+def test_core_scaling(benchmark):
+    sweep = {n: _speedup(n) for n in (2, 4, 8)}
+    run_once(benchmark, _speedup, 4)
+    print("\ncores  speedup")
+    for cores, speedup in sweep.items():
+        print(f"{cores:>5}  {speedup:.2f}x")
+    assert sweep[4] > sweep[2]
+    assert sweep[8] > sweep[4]
+    # Sublinear: 8 cores deliver well under 2x the 4-core speedup
+    # (bus + pipeline-structure limits).
+    assert sweep[8] < 1.9 * sweep[4]

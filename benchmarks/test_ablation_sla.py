@@ -1,0 +1,61 @@
+"""Ablation: the SLA mechanism of section 5.1 on vs off.
+
+Without SLAs, branch-mispredicted (squashed) loads mark cache lines and
+logically-earlier stores trigger *false* misspeculations.  Measures the
+abort counts and the slowdown on 186.crafty (the suite's worst mispredict
+rate, 5.59%).
+"""
+
+from conftest import run_once
+
+from repro.runtime import run_workload
+from repro.workloads import executor_factory_for, make_benchmark
+
+
+def _run(sla_enabled: bool):
+    workload = make_benchmark("186.crafty")
+    result = run_workload(workload, sla_enabled=sla_enabled,
+                          executor_factory=executor_factory_for(workload))
+    return workload, result
+
+
+def test_sla_ablation(benchmark):
+    workload, with_sla = _run(sla_enabled=True)
+    _, without_sla = run_once(benchmark, _run, sla_enabled=False)
+    print(f"\nSLA on : {with_sla.cycles:,} cycles, "
+          f"{with_sla.system.stats.aborted} aborts, "
+          f"{with_sla.system.stats.false_aborts_avoided} avoided")
+    print(f"SLA off: {without_sla.cycles:,} cycles, "
+          f"{without_sla.system.stats.aborted} aborts "
+          f"({without_sla.system.stats.false_aborts_triggered} false)")
+    # With SLAs: zero misspeculation (section 6.3).
+    assert with_sla.system.stats.aborted == 0
+    assert with_sla.system.stats.false_aborts_avoided > 0
+    # Without: false aborts fire repeatedly until the runtime gives up on
+    # parallel execution, and performance collapses.
+    assert without_sla.system.stats.false_aborts_triggered > 0
+    assert without_sla.extra["degraded_serial"]
+    assert without_sla.cycles > 1.4 * with_sla.cycles
+
+
+def test_no_sla_forces_li_serial(benchmark):
+    """130.li avoids 22.5 aborts per TX (Table 1); without SLAs its false
+    aborts recur deterministically and the runtime must degrade to serial
+    execution to make progress — parallelism is lost entirely."""
+
+    def attempt():
+        workload = make_benchmark("130.li", 0.5)
+        result = run_workload(workload, sla_enabled=False,
+                              executor_factory=executor_factory_for(workload))
+        return workload, result
+
+    workload, result = run_once(benchmark, attempt)
+    with_sla = run_workload(make_benchmark("130.li", 0.5), sla_enabled=True,
+                            executor_factory=executor_factory_for(
+                                make_benchmark("130.li", 0.5)))
+    print(f"\n130.li without SLAs: degraded={result.extra['degraded_serial']}"
+          f" cycles={result.cycles:,} (SLA on: {with_sla.cycles:,})")
+    assert result.extra["degraded_serial"]
+    assert result.cycles > 1.3 * with_sla.cycles
+    assert workload.observed_result(result.system) == \
+        workload.expected_result(result.system)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 1 (paradigm execution timing)."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig1, run_fig1
+
+
+def test_fig1_paradigm_timing(benchmark):
+    result = run_once(benchmark, run_fig1, nodes=48, work_cycles=400)
+    print("\n" + format_fig1(result))
+    # Figure 1's shape: PS-DSWP > DSWP > Sequential >= DOACROSS on a
+    # latency-bound pointer-chasing loop.
+    assert result.speedups["PS-DSWP"] > result.speedups["DSWP"] \
+        > result.speedups["DOACROSS"]
+    assert result.speedups["PS-DSWP"] > 1.5

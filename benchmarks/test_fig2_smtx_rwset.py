@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 2 (SMTX minimal vs substantial R/W sets)."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig2, run_fig2
+
+
+def test_fig2_smtx_validation_cost(benchmark, runner):
+    result = run_once(benchmark, run_fig2, runner=runner)
+    print("\n" + format_fig2(result))
+    # The motivating claim: substantial validation turns SMTX's modest
+    # speedups into slowdowns, for every benchmark.
+    for row in result.rows.values():
+        assert row.substantial_whole_program < row.minimal_whole_program
+    assert result.geomean_substantial < 1.0
+    assert result.geomean_minimal > 1.2

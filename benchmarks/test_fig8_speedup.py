@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 8 (the headline speedup comparison)."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig8, run_fig8
+from repro.experiments.fig8_speedup import (
+    PAPER_GEOMEAN_HMTX_ALL,
+    PAPER_GEOMEAN_SMTX_COMPARABLE,
+)
+
+
+def test_fig8_hot_loop_speedup(benchmark, runner):
+    result = run_once(benchmark, run_fig8, runner=runner)
+    print("\n" + format_fig8(result))
+    # Paper: HMTX 1.99x (All) / 2.02x (Comp.) vs SMTX 1.44x.
+    assert result.geomean_hmtx_all == PAPER_GEOMEAN_HMTX_ALL \
+        or abs(result.geomean_hmtx_all - PAPER_GEOMEAN_HMTX_ALL) < 0.25
+    assert result.geomean_hmtx_comparable > result.geomean_smtx_comparable
+    assert abs(result.geomean_smtx_comparable
+               - PAPER_GEOMEAN_SMTX_COMPARABLE) < 0.35
+    # Every benchmark achieves profitable parallelisation with *maximal*
+    # validation, and sequential semantics hold.
+    for row in result.rows.values():
+        assert row.hmtx_speedup > 1.4, row.benchmark
+        assert row.correct, row.benchmark

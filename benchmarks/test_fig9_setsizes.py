@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 9 (read/write-set sizes per transaction)."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig9, run_fig9
+
+
+def test_fig9_set_sizes(benchmark, runner):
+    result = run_once(benchmark, run_fig9, runner=runner)
+    print("\n" + format_fig9(result))
+    # 256.bzip2 dominates (paper: 16,222 kB vs geomean 957 kB).
+    assert result.largest() == "256.bzip2"
+    bzip2 = result.rows["256.bzip2"].combined_kb
+    assert bzip2 > 3 * result.geomean_combined_kb
+    # ispell's tiny transactions sit at the bottom.
+    assert min(result.rows.values(),
+               key=lambda r: r.combined_kb).benchmark == "ispell"

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table 1 (speculative-execution statistics)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_statistics(benchmark, runner):
+    result = run_once(benchmark, run_table1, runner=runner)
+    print("\n" + format_table1(result))
+    m, p = result.measured, result.paper
+    # Paradigm column matches exactly.
+    for name in m:
+        assert m[name].paradigm == p[name].paradigm, name
+    # Branch density within 50% of the paper for every benchmark.
+    for name in m:
+        assert abs(m[name].branch_pct - p[name].branch_pct) \
+            < 0.5 * p[name].branch_pct + 0.5, name
+    # Transaction-size ordering: li largest, ispell smallest.
+    accesses = {n: r.spec_accesses_per_tx for n, r in m.items()}
+    assert max(accesses, key=accesses.get) == "130.li"
+    assert min(accesses, key=accesses.get) == "ispell"
+    # SLA need: ispell highest; hmmer/alvinn near the bottom.
+    sla = {n: r.sla_pct_of_loads for n, r in m.items()}
+    assert max(sla, key=sla.get) == "ispell"
+    assert sla["456.hmmer"] < 5 and sla["052.alvinn"] < 5
+    # Avoided-abort ordering: branch-heavy pointer-chasers lead.
+    avoided = {n: r.aborts_avoided_per_tx for n, r in m.items()}
+    assert avoided["130.li"] > avoided["456.hmmer"]
+    assert avoided["130.li"] > avoided["052.alvinn"]

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 3 (area, power, energy)."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import format_table3, run_table3
+
+
+def test_table3_area_power_energy(benchmark, runner):
+    result = run_once(benchmark, run_table3, runner=runner)
+    print("\n" + format_table3(result))
+    # Published anchors: 107.1 -> 111.1 mm^2, 5.515 -> 5.607 W.
+    assert result.area_commodity == pytest.approx(107.1, abs=0.5)
+    assert result.area_hmtx == pytest.approx(111.1, abs=0.5)
+    assert result.leakage_commodity == pytest.approx(5.515, abs=0.05)
+    assert result.leakage_hmtx == pytest.approx(5.607, abs=0.05)
+    # Energy story: HMTX beats SMTX (it finishes sooner); HMTX hardware
+    # taxes software that ignores it by ~1%.
+    rows = result.rows
+    assert rows["HMTX-hw / HMTX, Max R/W (Comp.)"].energy_j \
+        < rows["HMTX-hw / SMTX, Min R/W"].energy_j
+    seq_plain = rows["Commodity / Sequential (All)"].dynamic_w
+    seq_taxed = rows["HMTX-hw / Sequential (All)"].dynamic_w
+    assert seq_plain < seq_taxed < seq_plain * 1.02

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's complete evaluation: every table and figure.
+
+Runs the 8 benchmark models under sequential / HMTX / SMTX execution and
+prints Figures 1, 2, 8, 9 and Tables 1, 3 side by side with the published
+reference points.  Expect a few minutes of simulation.
+
+Run:  python examples/full_evaluation.py [scale]
+      scale (default 1.0) shrinks/grows the workloads.
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    BenchmarkRunner,
+    format_fig1,
+    format_fig2,
+    format_fig8,
+    format_fig9,
+    format_table1,
+    format_table3,
+    run_fig1,
+    run_fig2,
+    run_fig8,
+    run_fig9,
+    run_table1,
+    run_table3,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    runner = BenchmarkRunner(scale=scale)
+    start = time.time()
+
+    sections = [
+        ("Figure 1", lambda: format_fig1(run_fig1())),
+        ("Figure 8", lambda: format_fig8(run_fig8(runner=runner))),
+        ("Figure 2", lambda: format_fig2(run_fig2(runner=runner))),
+        ("Table 1", lambda: format_table1(run_table1(runner=runner))),
+        ("Figure 9", lambda: format_fig9(run_fig9(runner=runner))),
+        ("Table 3", lambda: format_table3(run_table3(runner=runner))),
+    ]
+    for name, render in sections:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        print(render())
+    print(f"\ncompleted in {time.time() - start:.0f}s at scale {scale}")
+
+
+if __name__ == "__main__":
+    main()

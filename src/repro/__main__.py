@@ -1,0 +1,153 @@
+"""Command-line interface: regenerate artifacts and run benchmarks.
+
+Examples::
+
+    python -m repro list                      # what can I run?
+    python -m repro fig8                      # one figure
+    python -m repro evaluate --scale 0.5      # every table & figure
+    python -m repro run 130.li --system smtx  # one benchmark, one system
+    python -m repro run ispell --trace        # with a protocol trace summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import (
+    BenchmarkRunner,
+    format_fig1,
+    format_fig2,
+    format_fig5,
+    format_fig8,
+    format_fig9,
+    format_table1,
+    format_table3,
+    run_fig1,
+    run_fig2,
+    run_fig5,
+    run_fig8,
+    run_fig9,
+    run_table1,
+    run_table3,
+)
+from .workloads.suite import BENCHMARK_NAMES
+
+_ARTIFACTS = {
+    "fig1": lambda runner: format_fig1(run_fig1()),
+    "fig2": lambda runner: format_fig2(run_fig2(runner=runner)),
+    "fig5": lambda runner: format_fig5(run_fig5()),
+    "fig8": lambda runner: format_fig8(run_fig8(runner=runner)),
+    "fig9": lambda runner: format_fig9(run_fig9(runner=runner)),
+    "table1": lambda runner: format_table1(run_table1(runner=runner)),
+    "table3": lambda runner: format_table3(run_table3(runner=runner)),
+}
+
+
+def _cmd_list(_args) -> int:
+    print("artifacts :", ", ".join(sorted(_ARTIFACTS)), "+ evaluate (all)")
+    print("benchmarks:", ", ".join(BENCHMARK_NAMES))
+    print("systems   : sequential, hmtx, smtx-minimal, smtx-substantial,"
+          " smtx-maximal")
+    return 0
+
+
+def _cmd_artifact(args) -> int:
+    runner = BenchmarkRunner(scale=args.scale)
+    names = sorted(_ARTIFACTS) if args.artifact == "evaluate" \
+        else [args.artifact]
+    start = time.time()
+    for name in names:
+        print(_ARTIFACTS[name](runner))
+        print()
+    print(f"({time.time() - start:.0f}s at scale {args.scale})")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .runtime.paradigms import run_sequential, run_workload
+    from .smtx import ValidationMode, run_smtx
+    from .workloads import executor_factory_for, make_benchmark
+
+    workload = make_benchmark(args.benchmark, args.scale)
+    executor_factory = executor_factory_for(workload)
+    tracers = []
+    system_factory = None
+    if args.trace:
+        from .core import HMTXSystem, MachineConfig
+        from .trace import ProtocolTracer
+
+        def system_factory():
+            system = HMTXSystem(MachineConfig())
+            tracers.append(ProtocolTracer.attach(system.hierarchy))
+            return system
+
+    if args.system == "sequential":
+        result = run_sequential(workload, executor_factory=executor_factory,
+                                system_factory=system_factory)
+    elif args.system == "hmtx":
+        result = run_workload(workload, executor_factory=executor_factory,
+                              system_factory=system_factory)
+    elif args.system.startswith("smtx"):
+        mode = ValidationMode(args.system.split("-", 1)[1]) \
+            if "-" in args.system else ValidationMode.MINIMAL
+        result = run_smtx(workload, mode=mode,
+                          executor_factory=executor_factory)
+    else:
+        print(f"unknown system {args.system!r}", file=sys.stderr)
+        return 2
+    stats = result.system.stats
+    ok = workload.observed_result(result.system) == \
+        workload.expected_result(result.system)
+    print(f"{args.benchmark} on {args.system}: {result.cycles:,} cycles "
+          f"({result.paradigm}); {stats.committed} transactions, "
+          f"{stats.aborted} aborts; result "
+          f"{'matches sequential semantics' if ok else '*** WRONG ***'}")
+    if tracers:
+        from .trace import format_summary
+        print(format_summary(tracers[0].summary()))
+        tracers[0].detach()
+    if args.stats:
+        from .experiments import stats_report
+        print(stats_report(result))
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Hardware Multithreaded Transactions (ASPLOS 2018) "
+                    "reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list artifacts, benchmarks, systems")
+
+    for name in sorted(_ARTIFACTS) + ["evaluate"]:
+        p = sub.add_parser(name, help=f"regenerate {name}"
+                           if name != "evaluate" else "regenerate everything")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="workload size multiplier (default 1.0)")
+        p.set_defaults(artifact=name)
+
+    p = sub.add_parser("run", help="run one benchmark under one system")
+    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("--system", default="hmtx",
+                   choices=["sequential", "hmtx", "smtx-minimal",
+                            "smtx-substantial", "smtx-maximal"])
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--trace", action="store_true",
+                   help="attach a protocol tracer and print its summary")
+    p.add_argument("--stats", action="store_true",
+                   help="print the full statistics dump")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_artifact(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,341 @@
+"""Set-associative, version-aware cache with lazy commit/abort processing.
+
+A :class:`VersionedCache` stores *versions* of cache lines: several
+:class:`~repro.coherence.line.CacheLine` objects with the same address but
+different ``(modVID, highVID)`` tags may coexist within one set
+(section 4.1).  The set index depends only on the address, so versions
+compete for the same ways.
+
+Lazy commit/abort (section 5.3): commits and aborts are recorded by setting
+the per-cache ``LC_VID`` register and flash-setting the per-line CB/AB bits;
+the actual Figure 6/7 transition of a line is applied the next time that
+line is touched or chosen as an eviction victim
+(:meth:`VersionedCache.process_lazy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .line import CacheLine
+from .protocol import abort_transition, commit_transition, reset_transition, version_hits
+from .states import (
+    CLEAN_STATES,
+    State,
+    is_speculative,
+)
+from .vid import CascadedComparator
+
+
+@dataclass
+class CacheStats:
+    """Per-cache event counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    version_copies: int = 0
+    lazy_commits_processed: int = 0
+    lazy_aborts_processed: int = 0
+    commit_broadcasts: int = 0
+    abort_broadcasts: int = 0
+    vid_resets: int = 0
+
+
+# Victim-selection priority classes, lowest value evicted first (section 5.4:
+# prioritise overflowable S-O copies over speculative lines whose eviction
+# from the LLC would force an abort).
+_PRIORITY_INVALID = 0
+_PRIORITY_CLEAN_NONSPEC = 1
+_PRIORITY_DIRTY_NONSPEC = 2
+_PRIORITY_SPEC_SHARED = 3       # S-S: silently droppable peer copies
+_PRIORITY_SPEC_OVERFLOWABLE = 4  # S-O with modVID == 0: may go to memory
+_PRIORITY_SPEC_PINNED = 5        # eviction past the LLC aborts
+
+
+def victim_priority(line: CacheLine) -> int:
+    """Eviction priority class of a line (lower evicts first)."""
+    if line.state is State.INVALID:
+        return _PRIORITY_INVALID
+    if not line.is_speculative():
+        if line.state in CLEAN_STATES:
+            return _PRIORITY_CLEAN_NONSPEC
+        return _PRIORITY_DIRTY_NONSPEC
+    if line.state is State.SS:
+        return _PRIORITY_SPEC_SHARED
+    if line.state is State.SO and line.mod_vid == 0:
+        return _PRIORITY_SPEC_OVERFLOWABLE
+    return _PRIORITY_SPEC_PINNED
+
+
+class VersionedCache:
+    """One level of HMTX-capable cache (an L1 or the shared L2).
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (``"L1[0]"``, ``"L2"``).
+    size:
+        Capacity in bytes.
+    assoc:
+        Ways per set.
+    line_size:
+        Bytes per line.
+    hit_latency:
+        Cycles charged for a hit at this level.
+    vid_bits:
+        Width of the VID comparators (for the section 4.5 model).
+    """
+
+    def __init__(self, name: str, size: int, assoc: int, line_size: int = 64,
+                 hit_latency: int = 2, vid_bits: int = 6) -> None:
+        if size % (assoc * line_size):
+            raise ValueError("cache size must be a multiple of assoc * line_size")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.hit_latency = hit_latency
+        self.num_sets = size // (assoc * line_size)
+        self.lc_vid = 0
+        self.stats = CacheStats()
+        self.comparator = CascadedComparator(bits=vid_bits)
+        self._sets: Dict[int, List[CacheLine]] = {
+            i: [] for i in range(self.num_sets)
+        }
+        self._tick = 0
+        #: LC_VID snapshots at each abort broadcast (lazy abort processing).
+        self._abort_history: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Addressing helpers
+    # ------------------------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        return addr - (addr % self.line_size)
+
+    def set_index(self, addr: int) -> int:
+        """Set index depends only on the address, never on VIDs (4.1)."""
+        return (self.line_addr(addr) // self.line_size) % self.num_sets
+
+    def _touch(self, line: CacheLine) -> None:
+        self._tick += 1
+        line.lru_tick = self._tick
+
+    # ------------------------------------------------------------------
+    # Lazy commit/abort processing (section 5.3)
+    # ------------------------------------------------------------------
+
+    def process_lazy(self, line: CacheLine) -> Optional[CacheLine]:
+        """Resolve a line's pending commit/abort transitions (section 5.3).
+
+        Replays, in broadcast order, every event the line has not yet
+        processed: for each unseen abort, the commits up to the pre-abort
+        ``LC_VID`` apply first (Figure 6), then the abort (Figure 7);
+        finally the current ``LC_VID`` commit level applies.  Commit
+        processing needs no per-line pending bit because
+        :func:`~repro.coherence.protocol.commit_transition` is idempotent —
+        re-applying the current commit level to an up-to-date line is a
+        no-op.
+
+        Returns the line if it is still valid afterwards, or ``None`` if a
+        transition invalidated it (in which case it has been removed from
+        its set).
+        """
+        if not line.is_speculative():
+            line.seen_aborts = len(self._abort_history)
+            return line
+        while line.seen_aborts < len(self._abort_history):
+            lc_at_abort = self._abort_history[line.seen_aborts]
+            line.seen_aborts += 1
+            state, (mod, high) = commit_transition(
+                line.state, line.mod_vid, line.high_vid, lc_at_abort)
+            self.stats.lazy_commits_processed += 1
+            state, (mod, high) = abort_transition(state, mod, high)
+            self.stats.lazy_aborts_processed += 1
+            line.state, line.mod_vid, line.high_vid = state, mod, high
+            if line.state is State.INVALID:
+                self._remove(line)
+                return None
+            if not line.is_speculative():
+                line.seen_aborts = len(self._abort_history)
+                return line
+        state, (mod, high) = commit_transition(
+            line.state, line.mod_vid, line.high_vid, self.lc_vid)
+        if state is not line.state or (mod, high) != line.vids:
+            self.stats.lazy_commits_processed += 1
+        line.state, line.mod_vid, line.high_vid = state, mod, high
+        if line.state is State.INVALID:
+            self._remove(line)
+            return None
+        return line
+
+    def _remove(self, line: CacheLine) -> None:
+        lines = self._sets[self.set_index(line.addr)]
+        if line in lines:
+            lines.remove(line)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def versions(self, addr: int) -> List[CacheLine]:
+        """All valid versions of ``addr`` present, lazily processed first."""
+        base = self.line_addr(addr)
+        out = []
+        for line in list(self._sets[self.set_index(addr)]):
+            if line.addr != base:
+                continue
+            processed = self.process_lazy(line)
+            if processed is not None:
+                out.append(processed)
+        return out
+
+    def effective_vid(self, req_vid: int) -> int:
+        """Non-speculative requests use ``LC_VID`` for hit logic (5.3)."""
+        return self.lc_vid if req_vid == 0 else req_vid
+
+    def lookup(self, addr: int, req_vid: int) -> Optional[CacheLine]:
+        """Return the unique version a request with ``req_vid`` hits, if any.
+
+        ``req_vid`` is the raw request VID; the LC_VID substitution for
+        non-speculative requests happens here.
+        """
+        eff = self.effective_vid(req_vid)
+        hit = None
+        for line in self.versions(addr):
+            if line.is_speculative():
+                # Model the tag-check energy of the VID comparators (4.5).
+                self.comparator.compare(eff, line.mod_vid)
+                self.comparator.compare(eff, line.high_vid)
+            if version_hits(line.state, line.mod_vid, line.high_vid, eff):
+                if hit is not None:
+                    raise AssertionError(
+                        f"{self.name}: two versions hit VID {eff} at "
+                        f"0x{addr:x}: {hit} and {line}"
+                    )
+                hit = line
+        if hit is not None:
+            self._touch(hit)
+        return hit
+
+    def has_latest_spec_version(self, addr: int) -> bool:
+        """Is there an ``S-M`` version asserting "speculatively modified"?
+
+        Used for the section 5.4 overflow-retrieval assertion: when an S-M
+        copy snoops a request it cannot serve, it asserts that the line was
+        speculatively modified, so a memory response must arrive as
+        ``S-O(0, reqVID + 1)``.
+        """
+        return any(
+            line.state is State.SM and line.mod_vid > 0
+            for line in self.versions(addr)
+        )
+
+    # ------------------------------------------------------------------
+    # Installation and eviction
+    # ------------------------------------------------------------------
+
+    def install(self, line: CacheLine) -> List[CacheLine]:
+        """Insert a version, evicting as needed.
+
+        An existing version with the same ``(addr, modVID)`` is replaced
+        (it is the same conceptual version, e.g. a stale shared copy).
+        Returns the evicted lines; the hierarchy decides whether they are
+        written back, passed down a level, overflowed to memory, or force
+        an abort (section 5.4).
+        """
+        lines = self._sets[self.set_index(line.addr)]
+        for existing in list(lines):
+            if existing.addr == line.addr and existing.mod_vid == line.mod_vid \
+                    and existing.is_speculative() == line.is_speculative():
+                lines.remove(existing)
+        evicted: List[CacheLine] = []
+        while True:
+            # Resolve pending lazy transitions first: committed/aborted
+            # versions may free slots without any real eviction.
+            for candidate in list(lines):
+                self.process_lazy(candidate)
+            if len(lines) < self.assoc:
+                break
+            victim = self._choose_victim(lines)
+            lines.remove(victim)
+            evicted.append(victim)
+            self.stats.evictions += 1
+        # A freshly installed line has no pending events in *this* cache.
+        line.seen_aborts = len(self._abort_history)
+        lines.append(line)
+        self._touch(line)
+        return evicted
+
+    def _choose_victim(self, lines: List[CacheLine]) -> CacheLine:
+        """LRU within the lowest occupied priority class (section 5.4).
+
+        Callers have already lazily processed every line in the set.
+        """
+        live = [line for line in lines if line.state is not State.INVALID]
+        if not live:
+            return lines[0]
+        return min(live, key=lambda l: (victim_priority(l), l.lru_tick))
+
+    def drop(self, line: CacheLine) -> None:
+        """Remove a version without writeback (silent invalidation)."""
+        self._remove(line)
+
+    def all_lines(self) -> Iterable[CacheLine]:
+        for lines in self._sets.values():
+            yield from list(lines)
+
+    def occupancy(self) -> int:
+        """Number of valid versions currently resident."""
+        return sum(len(lines) for lines in self._sets.values())
+
+    # ------------------------------------------------------------------
+    # Broadcast operations (sections 4.4, 4.6, 5.3)
+    # ------------------------------------------------------------------
+
+    def broadcast_commit(self, vid: int) -> None:
+        """Record a commit: bump ``LC_VID``.  O(1).
+
+        No per-line VID comparison or state transition happens here — that
+        is the entire point of the lazy scheme.  (The paper flash-sets a CB
+        bit column; commit idempotence makes even that unnecessary in the
+        simulator — see :meth:`process_lazy`.)
+        """
+        self.lc_vid = vid
+        self.stats.commit_broadcasts += 1
+
+    def broadcast_abort(self) -> None:
+        """Record an abort: append to the abort history.  O(1).
+
+        The history entry snapshots the ``LC_VID`` in force when the abort
+        arrived, so lazy processing can order each line's pending commit
+        transitions before the abort — the exact-ordering refinement of the
+        paper's AB-bit scheme (see DESIGN.md).
+        """
+        self.stats.abort_broadcasts += 1
+        self._abort_history.append(self.lc_vid)
+
+    def vid_reset(self) -> None:
+        """Apply the section 4.6 VID reset to this cache.
+
+        Pending lazy transitions are resolved, then every surviving
+        speculative line is scrubbed: latest versions become plain M/E
+        ("this essentially commits them") and superseded copies die.
+        ``LC_VID`` returns to 0.
+        """
+        self.stats.vid_resets += 1
+        for line in self.all_lines():
+            processed = self.process_lazy(line)
+            if processed is None:
+                continue
+            new_state, (mod, high) = reset_transition(
+                processed.state, processed.mod_vid, processed.high_vid)
+            processed.state, processed.mod_vid, processed.high_vid = (
+                new_state, mod, high)
+            processed.seen_aborts = 0
+            if processed.state is State.INVALID:
+                self._remove(processed)
+        self._abort_history.clear()
+        self.lc_vid = 0

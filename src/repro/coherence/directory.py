@@ -1,0 +1,219 @@
+"""Directory-based HMTX coherence — the paper's section 8 scaling path.
+
+"Future work could adapt the HMTX coherence scheme to a directory-based
+protocol to allow for efficient scaling to many more cores."
+
+The snoopy design broadcasts every miss on a shared bus, so concurrent
+misses serialise (``HierarchyConfig.bus_occupancy``) — fine at 4 cores,
+ruinous at 16.  :class:`DirectoryHierarchy` replaces the bus with a banked
+directory co-located with the L2:
+
+* a **sharer map** tracks, per line address, which caches may hold
+  versions.  Installs update it eagerly; removals are lazy, so the map is a
+  conservative superset and a probe may find the entry stale (counted) —
+  exactly how real sparse directories behave between acknowledgments;
+* a miss consults the line's home **bank** (address-interleaved, each with
+  its own occupancy window) and probes only the recorded sharers instead of
+  broadcasting, so misses to different banks proceed in parallel;
+* version selection, conflict detection, commit/abort, overflow — the
+  entire HMTX protocol layer — is inherited unchanged, which is the point:
+  the paper's scheme needs no global state to pick a version or detect a
+  conflict, so it drops into a directory organisation directly.
+
+Commit/abort remain broadcasts (they are O(1) register/event-log updates
+per cache under the lazy scheme); the directory charges them a multicast
+latency that grows logarithmically with core count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .cache import VersionedCache
+from .hierarchy import AccessKind, HierarchyConfig, MemoryHierarchy
+from .line import CacheLine
+from .states import State
+
+
+@dataclass
+class DirectoryStats:
+    """Directory-specific event counters."""
+
+    lookups: int = 0
+    probes_sent: int = 0
+    stale_probes: int = 0
+    invalidations_sent: int = 0
+    bank_wait_cycles: int = 0
+
+
+@dataclass
+class DirectoryConfig(HierarchyConfig):
+    """Directory knobs on top of the base machine configuration."""
+
+    #: Address-interleaved directory banks (each an independent pipeline).
+    directory_banks: int = 8
+    #: Cycles to look up a directory bank entry.
+    directory_latency: int = 12
+    #: Cycles each lookup occupies its bank.
+    bank_occupancy: int = 4
+    #: One-way point-to-point link latency between tiles.
+    link_latency: int = 10
+
+
+class DirectoryHierarchy(MemoryHierarchy):
+    """The HMTX memory system with a banked directory instead of a bus."""
+
+    def __init__(self, config: Optional[DirectoryConfig] = None) -> None:
+        config = config or DirectoryConfig()
+        super().__init__(config)
+        self.dconfig = config
+        self.dir_stats = DirectoryStats()
+        #: line address -> names of caches that may hold a version.
+        self._sharers: Dict[int, Set[str]] = {}
+        self._bank_free: List[int] = [0] * config.directory_banks
+        self._caches_by_name = {c.name: c for c in self._all_caches()}
+
+    # ------------------------------------------------------------------
+    # Sharer-map maintenance
+    # ------------------------------------------------------------------
+
+    def _install(self, cache: VersionedCache, line: CacheLine) -> None:
+        self._sharers.setdefault(line.addr, set()).add(cache.name)
+        super()._install(cache, line)
+
+    def _record_presence(self, cache: VersionedCache, addr: int) -> None:
+        self._sharers.setdefault(addr, set()).add(cache.name)
+
+    def sharers_of(self, addr: int) -> Set[str]:
+        """The (conservative) recorded sharer set of a line."""
+        base = addr - (addr % self.config.line_size)
+        return set(self._sharers.get(base, set()))
+
+    def check_directory_invariant(self) -> None:
+        """Every cached version's holder appears in the sharer map."""
+        for cache in self._all_caches():
+            for line in cache.all_lines():
+                if line.state is State.INVALID:
+                    continue
+                recorded = self._sharers.get(line.addr, set())
+                assert cache.name in recorded, \
+                    f"{cache.name} holds 0x{line.addr:x} unrecorded"
+
+    # ------------------------------------------------------------------
+    # Timing: banked directory instead of one shared bus
+    # ------------------------------------------------------------------
+
+    def _bank_of(self, addr: int) -> int:
+        return (addr // self.config.line_size) % self.dconfig.directory_banks
+
+    def _bank_transaction(self, addr: int, now: int) -> int:
+        bank = self._bank_of(addr)
+        wait = max(0, self._bank_free[bank] - now)
+        self._bank_free[bank] = now + wait + self.dconfig.bank_occupancy
+        self.dir_stats.bank_wait_cycles += wait
+        return wait + self.dconfig.directory_latency
+
+    def _bus_transaction(self, now: int) -> int:
+        """Misses are arbitrated per bank, not on one global bus.
+
+        The base class calls this with only the current time; the actual
+        per-bank accounting happens in :meth:`_fetch`, so this contributes
+        nothing extra.
+        """
+        return 0
+
+    # ------------------------------------------------------------------
+    # Miss handling: directory lookup + targeted probes
+    # ------------------------------------------------------------------
+
+    def _fetch(self, core: int, addr: int, vid: int,
+               kind: AccessKind, now: int = 0) -> Tuple[CacheLine, int, str]:
+        self.stats.bus_snoops += 1     # kept: "coherence transactions"
+        self.dir_stats.lookups += 1
+        l1 = self.l1s[core]
+        base = l1.line_addr(addr)
+        latency = self._bank_transaction(base, now) + self.dconfig.link_latency
+        spec_modified_asserted = l1.has_latest_spec_version(addr)
+        recorded = [name for name in sorted(self.sharers_of(addr))
+                    if name != l1.name]
+        for name in recorded:
+            cache = self._caches_by_name[name]
+            self.dir_stats.probes_sent += 1
+            if cache.has_latest_spec_version(addr):
+                spec_modified_asserted = True
+            owner = cache.lookup(addr, vid)
+            if owner is None or owner.state is State.SS:
+                if not cache.versions(addr):
+                    # Stale directory entry: the holder silently dropped
+                    # its copy; clean the map.
+                    self.dir_stats.stale_probes += 1
+                    self._sharers.get(base, set()).discard(name)
+                continue
+            self.stats.peer_transfers += 1
+            latency += self.dconfig.link_latency
+            if self.overflow_table is not None and cache is self.overflow_table:
+                latency += cache.hit_latency
+                self.overflow_table.refills += 1
+            line = self._receive_from_owner(core, cache, owner, vid, kind)
+            return line, latency, cache.name
+        # Memory responds through the home bank.
+        self.stats.memory_fetches += 1
+        latency += self.config.memory_latency
+        data = self.memory.read_line(addr)
+        eff = l1.effective_vid(vid)
+        if spec_modified_asserted:
+            self.stats.overflow_retrievals += 1
+            line = CacheLine(base, State.SO, data, 0, eff + 1)
+        else:
+            line = CacheLine(base, State.EXCLUSIVE, data)
+        self._install(l1, line)
+        return line, latency, "memory"
+
+    # ------------------------------------------------------------------
+    # Invalidations become targeted multicasts
+    # ------------------------------------------------------------------
+
+    def _invalidate_nonspec_everywhere(self, addr: int,
+                                       keep: Optional[CacheLine] = None) -> None:
+        # Same semantics as the base class (non-speculative copies plus
+        # silent S-S copies), delivered as directed invalidations.
+        for name in sorted(self.sharers_of(addr)):
+            cache = self._caches_by_name[name]
+            self.dir_stats.invalidations_sent += 1
+            for line in cache.versions(addr):
+                if line is keep:
+                    continue
+                if line.is_speculative() and line.state is not State.SS:
+                    continue
+                cache.drop(line)
+
+    def _scrub_ss_copies(self, addr: int, mod_vid: int) -> None:
+        dropped = False
+        for name in sorted(self.sharers_of(addr)):
+            cache = self._caches_by_name[name]
+            for line in cache.versions(addr):
+                if line.state is State.SS and line.mod_vid == mod_vid:
+                    cache.drop(line)
+                    dropped = True
+        if dropped:
+            self.stats.ss_invalidations += 1
+            self.dir_stats.invalidations_sent += 1
+
+    # ------------------------------------------------------------------
+    # Broadcasts: multicast tree, log-depth latency
+    # ------------------------------------------------------------------
+
+    def _multicast_latency(self) -> int:
+        fanout_depth = max(1, math.ceil(math.log2(self.config.num_cores + 1)))
+        return self.config.broadcast_latency \
+            + fanout_depth * self.dconfig.link_latency
+
+    def commit(self, vid: int) -> int:
+        super().commit(vid)
+        return self._multicast_latency()
+
+    def abort(self) -> int:
+        super().abort()
+        return self._multicast_latency()

@@ -1,0 +1,571 @@
+"""The full memory system: per-core L1s, shared L2, snoopy bus, memory.
+
+This module orchestrates the protocol of section 4: local L1 lookup, bus
+snoop of peer L1s and the shared L2, memory fetch (including the section 5.4
+overflow-retrieval path), version creation on speculative writes, commit and
+abort broadcasts, and the eviction/overflow rules.
+
+The hierarchy is *non-inclusive*: L1 victims of any version are written back
+to the L2 "as normal" (section 4.1); only eviction past the last-level cache
+is restricted (section 5.4).
+
+System-wide invariants maintained here (and checked by the test suite):
+
+* at most one *latest* (``S-M``/``S-E``) version per address exists anywhere;
+* within a cache, at most one version of an address hits any given VID;
+* ``S-S`` copies never serve writes and are invalidated whenever their
+  underlying version is written (the upgrade bus transaction of MOESI,
+  carried over to the speculative world);
+* non-speculative requests substitute ``LC_VID`` in hit logic only — they
+  never create or extend speculative versions (sections 5.3, 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import MisspeculationError, SpeculativeOverflowError
+from .cache import VersionedCache
+from .line import CacheLine
+from .memory import MainMemory
+from .overflow import OverflowVersionTable
+from .protocol import (
+    AccessKind,
+    WriteOutcome,
+    plan_new_version,
+    read_transition,
+    write_outcome,
+)
+from .states import State
+
+
+@dataclass
+class HierarchyConfig:
+    """Geometry and latency knobs (defaults follow Table 2)."""
+
+    num_cores: int = 4
+    l1_size: int = 64 * 1024
+    l1_assoc: int = 8
+    l1_latency: int = 2
+    l2_size: int = 32 * 1024 * 1024
+    l2_assoc: int = 32
+    l2_latency: int = 40
+    line_size: int = 64
+    memory_latency: int = 200
+    vid_bits: int = 6
+    #: Cycles for a commit/abort broadcast on the L1-L2 bus (lazy scheme:
+    #: just bus arbitration plus the flash-set, no per-line processing).
+    broadcast_latency: int = 10
+    #: Cycles one bus transaction (snoop + line transfer) occupies the
+    #: shared L1-L2 bus.  Concurrent requesters serialise on it, which is
+    #: the first-order reason the snoopy design stops scaling past a few
+    #: cores (the paper's future work proposes a directory protocol).
+    bus_occupancy: int = 8
+    #: Section 8 extension: when True, speculative versions evicted past
+    #: the LLC spill into a memory-side version table instead of aborting
+    #: ("unlimited read and write sets").
+    unbounded_sets: bool = False
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one load or store."""
+
+    value: int
+    latency: int
+    l1_hit: bool
+    served_by: str
+    #: True when a speculative load touched a version not yet marked with
+    #: its VID — exactly the condition under which an SLA message must be
+    #: sent once the load retires (section 5.1).
+    sla_required: bool = False
+    #: True when a speculative store created a fresh line version.
+    created_version: bool = False
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate memory-system statistics."""
+
+    loads: int = 0
+    stores: int = 0
+    spec_loads: int = 0
+    spec_stores: int = 0
+    bus_snoops: int = 0
+    peer_transfers: int = 0
+    memory_fetches: int = 0
+    ss_invalidations: int = 0
+    bus_wait_cycles: int = 0
+    nonspec_overflows: int = 0
+    overflow_retrievals: int = 0
+    spec_overflow_spills: int = 0
+    commits: int = 0
+    aborts: int = 0
+    vid_resets: int = 0
+
+
+class MemoryHierarchy:
+    """Per-core L1 caches over a shared L2 over main memory."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+        self.config = config or HierarchyConfig()
+        cfg = self.config
+        self.memory = MainMemory(line_size=cfg.line_size, latency=cfg.memory_latency)
+        self.l1s = [
+            VersionedCache(
+                f"L1[{i}]", cfg.l1_size, cfg.l1_assoc, cfg.line_size,
+                hit_latency=cfg.l1_latency, vid_bits=cfg.vid_bits)
+            for i in range(cfg.num_cores)
+        ]
+        self.l2 = VersionedCache(
+            "L2", cfg.l2_size, cfg.l2_assoc, cfg.line_size,
+            hit_latency=cfg.l2_latency, vid_bits=cfg.vid_bits)
+        self.stats = HierarchyStats()
+        #: Section 8 extension: memory-side home for overflowed versions.
+        self.overflow_table: Optional[OverflowVersionTable] = None
+        if cfg.unbounded_sets:
+            self.overflow_table = OverflowVersionTable(
+                line_size=cfg.line_size, memory_latency=cfg.memory_latency,
+                vid_bits=cfg.vid_bits)
+        #: Simulated time at which the shared bus next becomes free.
+        self._bus_free = 0
+
+    def _bus_transaction(self, now: int) -> int:
+        """Acquire the shared bus at time ``now``; returns wait + occupancy.
+
+        With a single active core the bus is always free by the time the
+        next miss issues; under parallel execution concurrent misses queue
+        up behind each other, throttling speedup exactly as shared-bus
+        bandwidth does on real snoopy multicores.
+        """
+        wait = max(0, self._bus_free - now)
+        self._bus_free = now + wait + self.config.bus_occupancy
+        self.stats.bus_wait_cycles += wait
+        return wait + self.config.bus_occupancy
+
+    # ------------------------------------------------------------------
+    # Public access interface
+    # ------------------------------------------------------------------
+
+    def load(self, core: int, addr: int, vid: int,
+             now: int = 0) -> AccessResult:
+        """Perform a (possibly speculative) load from ``addr`` with ``vid``.
+
+        ``now`` is the requesting core's current cycle, used for shared-bus
+        contention accounting.
+        """
+        self.stats.loads += 1
+        if vid > 0:
+            self.stats.spec_loads += 1
+        return self._access(core, addr, vid, AccessKind.READ, None, now)
+
+    def store(self, core: int, addr: int, vid: int, value: int,
+              now: int = 0) -> AccessResult:
+        """Perform a (possibly speculative) store to ``addr`` with ``vid``."""
+        self.stats.stores += 1
+        if vid > 0:
+            self.stats.spec_stores += 1
+        return self._access(core, addr, vid, AccessKind.WRITE, value, now)
+
+    def read_committed(self, addr: int) -> int:
+        """Verification read of committed state: no timing, no statistics.
+
+        Used by workloads' post-run result checks so that verification does
+        not perturb the counters the experiments report.  Any cached copy
+        visible to a non-speculative request holds the committed value;
+        otherwise memory does.
+        """
+        for cache in self._all_caches():
+            hit = cache.lookup(addr, 0)
+            if hit is not None:
+                return hit.data[self._word(addr)]
+        return self.memory.read_word(addr)
+
+    def peek(self, core: int, addr: int, vid: int) -> Tuple[int, int]:
+        """Read the value ``vid`` would observe *without marking any line*.
+
+        Models a wrong-path (branch-speculative) load under the SLA scheme
+        of section 5.1: the load's data moves through the system, but no
+        line is marked with its VID.  Returns ``(value, latency)``.
+        """
+        l1 = self.l1s[core]
+        hit = l1.lookup(addr, vid)
+        if hit is not None:
+            return hit.data[self._word(addr)], l1.hit_latency
+        latency = l1.hit_latency + self.config.l2_latency
+        for cache in self._peer_caches(core):
+            line = cache.lookup(addr, vid)
+            if line is not None and line.state is not State.SS:
+                return line.data[self._word(addr)], latency
+        return self.memory.read_word(addr), latency + self.config.memory_latency
+
+    # ------------------------------------------------------------------
+    # Broadcasts
+    # ------------------------------------------------------------------
+
+    def commit(self, vid: int) -> int:
+        """Group-commit transaction ``vid`` everywhere; returns latency."""
+        self.stats.commits += 1
+        for cache in self._all_caches():
+            cache.broadcast_commit(vid)
+        return self.config.broadcast_latency
+
+    def abort(self) -> int:
+        """Flush all uncommitted transactional state; returns latency."""
+        self.stats.aborts += 1
+        for cache in self._all_caches():
+            cache.broadcast_abort()
+        return self.config.broadcast_latency
+
+    def vid_reset(self) -> int:
+        """Perform the section 4.6 VID reset; returns latency.
+
+        Legal only after every outstanding transaction has committed (the
+        software side guarantees this before raising the reset signal).
+        """
+        self.stats.vid_resets += 1
+        for cache in self._all_caches():
+            cache.vid_reset()
+        return self.config.broadcast_latency
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (tests, experiments)
+    # ------------------------------------------------------------------
+
+    def versions_everywhere(self, addr: int) -> List[Tuple[str, CacheLine]]:
+        """All cached versions of ``addr`` with their cache names."""
+        out = []
+        for cache in self._all_caches():
+            for line in cache.versions(addr):
+                out.append((cache.name, line))
+        return out
+
+    def speculative_footprint_bytes(self) -> int:
+        """Bytes of speculative versions currently resident (Figure 9 aid)."""
+        return sum(
+            self.config.line_size
+            for cache in self._all_caches()
+            for line in cache.all_lines()
+            if line.is_speculative()
+        )
+
+    def check_invariants(self) -> None:
+        """Assert the system-wide protocol invariants (test support)."""
+        latest_owners = {}
+        for cache in self._all_caches():
+            for line in cache.all_lines():
+                if line.state in (State.SM, State.SE):
+                    if line.addr in latest_owners:
+                        raise AssertionError(
+                            f"two latest versions of 0x{line.addr:x}: "
+                            f"{latest_owners[line.addr]} and {cache.name}")
+                    latest_owners[line.addr] = cache.name
+
+    # ------------------------------------------------------------------
+    # Core access machinery
+    # ------------------------------------------------------------------
+
+    def _word(self, addr: int) -> int:
+        return (addr % self.config.line_size) // self.memory.word_size
+
+    def _all_caches(self) -> List[VersionedCache]:
+        caches: List[VersionedCache] = self.l1s + [self.l2]
+        if self.overflow_table is not None:
+            caches.append(self.overflow_table)
+        return caches
+
+    def _peer_caches(self, core: int) -> List[VersionedCache]:
+        peers = [c for i, c in enumerate(self.l1s) if i != core]
+        peers.append(self.l2)
+        if self.overflow_table is not None:
+            # Consulted last: a version found here pays memory latency plus
+            # the software-structure management cost.
+            peers.append(self.overflow_table)
+        return peers
+
+    def _access(self, core: int, addr: int, vid: int, kind: AccessKind,
+                value: Optional[int], now: int = 0) -> AccessResult:
+        l1 = self.l1s[core]
+        latency = l1.hit_latency
+        hit = l1.lookup(addr, vid)
+        if hit is not None and kind is AccessKind.WRITE and hit.state is State.SS:
+            # Silent shared speculative copies never serve writes; the write
+            # must reach the version's owner on the bus.
+            hit = None
+        served_by = l1.name
+        l1_hit = hit is not None
+        if hit is None:
+            l1.stats.misses += 1
+            latency += self._bus_transaction(now + latency)
+            hit, transfer_latency, served_by = self._fetch(
+                core, addr, vid, kind, now=now + latency)
+            latency += transfer_latency
+        else:
+            l1.stats.hits += 1
+        return self._apply(core, hit, addr, vid, kind, value, latency,
+                           l1_hit, served_by)
+
+    def _fetch(self, core: int, addr: int, vid: int,
+               kind: AccessKind, now: int = 0) -> Tuple[CacheLine, int, str]:
+        """Bring a copy that ``vid`` hits into ``core``'s L1.
+
+        Implements the bus snoop: exactly one cache responds with the
+        version that would have hit (S-S copies stay silent); otherwise
+        memory responds, possibly via the section 5.4 overflow-retrieval
+        path.
+        """
+        self.stats.bus_snoops += 1
+        l1 = self.l1s[core]
+        latency = self.config.l2_latency  # bus + L2 lookup window
+        spec_modified_asserted = l1.has_latest_spec_version(addr)
+        for cache in self._peer_caches(core):
+            if cache.has_latest_spec_version(addr):
+                spec_modified_asserted = True
+            owner = cache.lookup(addr, vid)
+            if owner is None or owner.state is State.SS:
+                continue
+            self.stats.peer_transfers += 1
+            if self.overflow_table is not None and cache is self.overflow_table:
+                latency += cache.hit_latency
+                self.overflow_table.refills += 1
+            line = self._receive_from_owner(core, cache, owner, vid, kind)
+            return line, latency, cache.name
+        # No cache can serve the request: memory responds.
+        self.stats.memory_fetches += 1
+        latency += self.config.memory_latency
+        data = self.memory.read_line(addr)
+        base = l1.line_addr(addr)
+        eff = l1.effective_vid(vid)
+        if spec_modified_asserted:
+            # Section 5.4: an S-M copy asserted "speculatively modified" but
+            # could not serve this VID, so the non-speculative backup must
+            # have overflowed to memory.  It returns as S-O(0, reqVID + 1).
+            # (Also taken for non-speculative requests: installing a plain
+            # E copy while a live S-M exists would shadow the speculative
+            # version for later VIDs.)
+            self.stats.overflow_retrievals += 1
+            line = CacheLine(base, State.SO, data, 0, eff + 1)
+        else:
+            line = CacheLine(base, State.EXCLUSIVE, data)
+        self._install(l1, line)
+        return line, latency, "memory"
+
+    def _receive_from_owner(self, core: int, owner_cache: VersionedCache,
+                            owner: CacheLine, vid: int,
+                            kind: AccessKind) -> CacheLine:
+        """Install a usable copy of ``owner``'s version in ``core``'s L1."""
+        l1 = self.l1s[core]
+        eff = l1.effective_vid(vid)
+        if not owner.is_speculative():
+            if vid > 0 or kind is AccessKind.WRITE:
+                # First speculative touch (or any write) needs exclusive
+                # access: every non-speculative copy of the line is
+                # invalidated and the line migrates (Figure 4's entry arcs).
+                dirty = owner.is_dirty()
+                data = owner.copy_data()
+                self._invalidate_nonspec_everywhere(owner.addr)
+                state = State.MODIFIED if dirty else State.EXCLUSIVE
+                line = CacheLine(owner.addr, state, data)
+                self._install(l1, line)
+                return line
+            # Plain non-speculative read sharing: MOESI read hit.
+            data = owner.copy_data()
+            if owner.state is State.MODIFIED:
+                owner.state = State.OWNED
+            elif owner.state is State.EXCLUSIVE:
+                owner.state = State.SHARED
+            line = CacheLine(owner.addr, State.SHARED, data)
+            self._install(l1, line)
+            return line
+        if kind is AccessKind.READ:
+            # Uncommitted value forwarding across caches: the requester gets
+            # a shared speculative copy; the owner keeps tracking the global
+            # highVID so later conflicting stores are still caught.
+            if vid > 0:
+                new_state, (mod, high) = read_transition(
+                    owner.state, owner.mod_vid, owner.high_vid, eff)
+                owner.state, owner.mod_vid, owner.high_vid = new_state, mod, high
+            if owner.state in (State.SM, State.SE):
+                # The copy's window is capped just above the requesting VID:
+                # a strictly later VID's read must reach the owner to be
+                # logged there.
+                copy_high = eff + 1 if vid > 0 else owner.high_vid
+            else:
+                copy_high = owner.high_vid
+            line = CacheLine(owner.addr, State.SS, owner.copy_data(),
+                             owner.mod_vid, copy_high)
+            self._install(l1, line)
+            return line
+        # A write served by a remote speculative version: decide abort /
+        # in-place migration / new version here, where both copies are
+        # visible.  Non-speculative writes that land on a live speculative
+        # version are conservative conflicts (eff = LC_VID < highVID).
+        outcome = write_outcome(owner.state, owner.mod_vid, owner.high_vid, eff)
+        if outcome is WriteOutcome.ABORT or vid == 0:
+            self._raise_misspeculation(owner, eff)
+        self._scrub_ss_copies(owner.addr, owner.mod_vid)
+        if outcome is WriteOutcome.IN_PLACE:
+            # Same transaction writes from another core: the S-M version
+            # migrates wholesale (speculative threads may move between
+            # cores, section 5.2).
+            line = CacheLine(owner.addr, owner.state, owner.copy_data(),
+                             owner.mod_vid, max(owner.high_vid, eff))
+            owner_cache.drop(owner)
+            self._install(l1, line)
+            return line
+        plan = plan_new_version(owner.state, owner.mod_vid, owner.high_vid, eff)
+        data = owner.copy_data()
+        owner.state = plan.old_state
+        owner.mod_vid, owner.high_vid = plan.old_vids
+        line = CacheLine(owner.addr, State.SM, data, *plan.new_vids)
+        l1.stats.version_copies += 1
+        self._install(l1, line)
+        return line
+
+    def _apply(self, core: int, line: CacheLine, addr: int, vid: int,
+               kind: AccessKind, value: Optional[int], latency: int,
+               l1_hit: bool, served_by: str) -> AccessResult:
+        """Apply the access to the L1-resident version ``line``."""
+        l1 = self.l1s[core]
+        eff = l1.effective_vid(vid)
+        word = self._word(addr)
+        if kind is AccessKind.READ:
+            sla_required = False
+            if vid > 0:
+                sla_required = (not line.is_speculative()
+                                or line.high_vid < eff)
+                if line.state in (State.OWNED, State.SHARED):
+                    # Entering the speculative world needs exclusive access.
+                    self._upgrade(line)
+                new_state, (mod, high) = read_transition(
+                    line.state, line.mod_vid, line.high_vid, eff)
+                line.state, line.mod_vid, line.high_vid = new_state, mod, high
+            return AccessResult(line.data[word], latency, l1_hit, served_by,
+                                sla_required=sla_required)
+        # Store path.
+        assert value is not None
+        if vid == 0:
+            if line.is_speculative():
+                # A non-speculative store landing on live speculative state
+                # is a conservative conflict.
+                self._raise_misspeculation(line, eff)
+            if line.state in (State.OWNED, State.SHARED):
+                self._upgrade(line)
+            line.state = State.MODIFIED
+            line.data[word] = value
+            return AccessResult(value, latency, l1_hit, served_by)
+        if line.state in (State.OWNED, State.SHARED):
+            self._upgrade(line)
+        outcome = write_outcome(line.state, line.mod_vid, line.high_vid, eff)
+        if outcome is WriteOutcome.ABORT:
+            self._raise_misspeculation(line, eff)
+        if outcome is WriteOutcome.IN_PLACE:
+            self._scrub_ss_copies(line.addr, line.mod_vid)
+            line.data[word] = value
+            line.high_vid = max(line.high_vid, eff)
+            return AccessResult(value, latency, l1_hit, served_by)
+        if line.is_speculative():
+            self._scrub_ss_copies(line.addr, line.mod_vid)
+        plan = plan_new_version(line.state, line.mod_vid, line.high_vid, eff)
+        new_line = CacheLine(line.addr, State.SM, line.copy_data(),
+                             *plan.new_vids)
+        new_line.data[word] = value
+        line.state = plan.old_state
+        line.mod_vid, line.high_vid = plan.old_vids
+        l1.stats.version_copies += 1
+        self._install(l1, new_line)
+        return AccessResult(value, latency, l1_hit, served_by,
+                            created_version=True)
+
+    def _upgrade(self, line: CacheLine) -> None:
+        """Invalidate peer copies so ``line`` becomes writable (O/S -> M/E)."""
+        self.stats.bus_snoops += 1
+        self._invalidate_nonspec_everywhere(line.addr, keep=line)
+        line.state = (State.MODIFIED if line.state is State.OWNED
+                      else State.EXCLUSIVE)
+
+    def _invalidate_nonspec_everywhere(self, addr: int,
+                                       keep: Optional[CacheLine] = None) -> None:
+        """Acquire exclusivity: drop every non-speculative copy.
+
+        Silent shared speculative copies (``S-S``) are dropped as well —
+        they are clean, never respond to snoops, and a stale one whose
+        window survived its version's commit would otherwise overlap the
+        speculative marking the requester is about to create.  Real
+        speculative owners (``S-M``/``S-O``/``S-E``) are never present on
+        this path: a live latest version would have served the request
+        itself instead of a non-speculative owner.
+        """
+        for cache in self._all_caches():
+            for line in cache.versions(addr):
+                if line is keep:
+                    continue
+                if line.is_speculative() and line.state is not State.SS:
+                    continue
+                cache.drop(line)
+
+    def _scrub_ss_copies(self, addr: int, mod_vid: int) -> None:
+        """Invalidate all S-S copies of version ``(addr, mod_vid)``.
+
+        The speculative analogue of a MOESI upgrade: a write to a version
+        must invalidate its silent read-only copies, otherwise they would
+        keep serving the version's *pre-write* data.
+        """
+        dropped = False
+        for cache in self._all_caches():
+            for line in cache.versions(addr):
+                if line.state is State.SS and line.mod_vid == mod_vid:
+                    cache.drop(line)
+                    dropped = True
+        if dropped:
+            self.stats.ss_invalidations += 1
+            self.stats.bus_snoops += 1
+
+    def _raise_misspeculation(self, line: CacheLine, vid: int) -> None:
+        raise MisspeculationError(
+            f"store with VID {vid} conflicts with version "
+            f"{line.state}({line.mod_vid},{line.high_vid})",
+            vid=vid, addr=line.addr)
+
+    # ------------------------------------------------------------------
+    # Eviction handling
+    # ------------------------------------------------------------------
+
+    def _install(self, cache: VersionedCache, line: CacheLine) -> None:
+        for victim in cache.install(line):
+            self._handle_victim(cache, victim)
+
+    def _handle_victim(self, cache: VersionedCache, victim: CacheLine) -> None:
+        if victim.state is State.INVALID:
+            return
+        if cache is not self.l2:
+            # L1 victim: S-S peer copies are silently droppable; clean
+            # non-speculative lines need no writeback; everything else moves
+            # down to the L2 "as normal" (section 4.1).
+            if victim.state in (State.SS, State.SHARED, State.EXCLUSIVE):
+                return
+            self._install(self.l2, victim)
+            return
+        # Last-level cache victim: section 5.4 rules.
+        if victim.state in (State.MODIFIED, State.OWNED):
+            self.memory.write_line(victim.addr, victim.data)
+            return
+        if victim.state in (State.SHARED, State.EXCLUSIVE, State.SS):
+            return
+        if victim.state is State.SO and victim.mod_vid == 0:
+            # The non-speculative backup may overflow to memory; the S-M
+            # assertion path of _fetch retrieves it if needed again.
+            self.stats.nonspec_overflows += 1
+            self.memory.write_line(victim.addr, victim.data)
+            return
+        if self.overflow_table is not None:
+            # Section 8 extension: spill the speculative version into the
+            # memory-side table instead of aborting.
+            self.stats.spec_overflow_spills += 1
+            self.overflow_table.spill(victim)
+            return
+        raise SpeculativeOverflowError(
+            f"speculative version {victim.state}({victim.mod_vid},"
+            f"{victim.high_vid}) of 0x{victim.addr:x} evicted past the LLC",
+            vid=victim.mod_vid, addr=victim.addr)

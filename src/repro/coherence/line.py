@@ -1,0 +1,80 @@
+"""Cache line model with HMTX version tags.
+
+Each physical cache line carries, on top of its MOESI/speculative state and
+data, the two VIDs of section 4.1:
+
+``modVID``
+    VID of the transaction whose speculative store created this version.
+    0 for every non-speculative version.
+``highVID``
+    Highest VID that has accessed this version.
+
+and the lazy-processing tag of section 5.3:
+
+``seen_aborts``
+    The simulator's exact formulation of the paper's CB/AB bits: the cache
+    records each abort broadcast (with the ``LC_VID`` in force at that
+    moment) in a tiny history; a line remembers how many aborts it has
+    already processed.  On the next touch the deferred Figure 6/7
+    transitions replay in order — commit up to the pre-abort ``LC_VID``,
+    then the abort, then the current commit level.  Broadcasts are O(1),
+    per-line processing is O(1), and the CB-set-then-abort race of the
+    flash-bit scheme (see DESIGN.md) cannot occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .states import State, is_dirty, is_speculative
+
+
+@dataclass
+class CacheLine:
+    """One physical cache line (one *version* of an address).
+
+    Multiple :class:`CacheLine` objects with the same ``addr`` but different
+    ``mod_vid``/``high_vid`` may coexist in a single cache set — that is how
+    HMTX materialises multiple memory versions (section 4.1).
+    """
+
+    addr: int
+    state: State
+    data: List[int]
+    mod_vid: int = 0
+    high_vid: int = 0
+    #: Abort broadcasts this line has already lazily processed (stamped to
+    #: the owning cache's abort count at install time).
+    seen_aborts: int = 0
+    #: Monotonic per-cache counter for LRU victim selection.
+    lru_tick: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mod_vid < 0 or self.high_vid < 0:
+            raise ValueError("VIDs are non-negative")
+
+    @property
+    def vids(self) -> tuple:
+        """The ``(modVID, highVID)`` tuple used throughout the paper."""
+        return (self.mod_vid, self.high_vid)
+
+    def is_speculative(self) -> bool:
+        return is_speculative(self.state)
+
+    def is_dirty(self) -> bool:
+        return is_dirty(self.state)
+
+    def copy_data(self) -> List[int]:
+        """A defensive copy of the line's words (new versions must not alias)."""
+        return list(self.data)
+
+    def set_vids(self, mod_vid: int, high_vid: int) -> None:
+        self.mod_vid = mod_vid
+        self.high_vid = high_vid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheLine(0x{self.addr:x}, {self.state}"
+            f"({self.mod_vid},{self.high_vid}))"
+        )

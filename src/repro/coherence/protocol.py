@@ -1,0 +1,248 @@
+"""The HMTX coherence protocol as pure transition functions.
+
+This module encodes Figures 4, 6 and 7 of the paper as side-effect-free
+functions over ``(state, modVID, highVID, requestVID)`` tuples.  Keeping the
+protocol pure and separate from the cache container makes the informal
+correctness argument of section 4.3 directly testable: the flow-, anti- and
+output-dependence cases are exhaustively enumerable.
+
+Key rules (section 4.1):
+
+* A request with VID ``a`` *hits* a speculative version ``(m, h)`` iff
+
+  - ``S-M``/``S-E``: ``a >= m``
+  - ``S-O``/``S-S``: ``m <= a < h``
+
+  Requests hit at most one version of a line; the conditions above partition
+  the VID space across the versions the protocol can create.
+
+* A speculative **write** with VID ``a`` to the hitting version
+
+  - aborts when the version is superseded (``S-O``/``S-S``) or when
+    ``a < highVID`` (a logically-later access already happened);
+  - modifies in place when ``a == modVID`` (same transaction re-writes);
+  - otherwise creates a new ``S-M(a, a)`` version and leaves the unmodified
+    copy behind in ``S-O(m, a)``.
+
+* A speculative **read** with VID ``a`` raises the hit version's ``highVID``
+  to ``max(highVID, a)`` on latest versions; superseded versions are
+  immutable (their ``highVID`` records the superseding write).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .states import (
+    LATEST_SPEC_STATES,
+    SUPERSEDED_SPEC_STATES,
+    State,
+    is_speculative,
+)
+
+Vids = Tuple[int, int]
+
+
+class AccessKind(enum.Enum):
+    """Kinds of memory requests the protocol distinguishes."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class WriteOutcome(enum.Enum):
+    """What a speculative write does to the version it hits."""
+
+    IN_PLACE = "in-place"
+    NEW_VERSION = "new-version"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class NewVersionPlan:
+    """Result of planning a copy-creating speculative write (Figure 4).
+
+    ``old_state``/``old_vids`` describe what the previously-latest copy
+    becomes (the unmodified backup), ``new_vids`` the fresh ``S-M`` version.
+    """
+
+    old_state: State
+    old_vids: Vids
+    new_vids: Vids
+
+
+def version_hits(state: State, mod_vid: int, high_vid: int, req_vid: int) -> bool:
+    """Does a request with VID ``req_vid`` hit this version of the line?
+
+    Non-speculative valid states always hit (plain tag match); speculative
+    states apply the VID window rules of section 4.1.  ``req_vid`` must
+    already be the *effective* VID (non-speculative requests substitute the
+    cache's ``LC_VID``, section 5.3).
+    """
+    if state is State.INVALID:
+        return False
+    if not is_speculative(state):
+        return True
+    if state in LATEST_SPEC_STATES:
+        return req_vid >= mod_vid
+    # S-O / S-S: serves the window [modVID, highVID).
+    return mod_vid <= req_vid < high_vid
+
+
+def read_transition(state: State, mod_vid: int, high_vid: int,
+                    req_vid: int) -> Tuple[State, Vids]:
+    """State/VIDs of a version after a speculative read hits it.
+
+    The caller guarantees :func:`version_hits` is true and ``req_vid > 0``.
+    Non-speculative states are entered into the speculative world here:
+    a dirty line becomes ``S-M(0, a)``, a clean line ``S-E(0, a)``
+    (Figure 4; O/S follow the M/E path once exclusive access is acquired).
+    """
+    if state in (State.MODIFIED, State.OWNED):
+        return State.SM, (0, req_vid)
+    if state in (State.EXCLUSIVE, State.SHARED):
+        return State.SE, (0, req_vid)
+    if state in LATEST_SPEC_STATES:
+        return state, (mod_vid, max(high_vid, req_vid))
+    if state in SUPERSEDED_SPEC_STATES:
+        return state, (mod_vid, high_vid)
+    raise ValueError(f"read cannot hit state {state}")
+
+
+def write_outcome(state: State, mod_vid: int, high_vid: int,
+                  req_vid: int) -> WriteOutcome:
+    """Classify a speculative write against the version it hits (Figure 4).
+
+    Misspeculation cases (section 4.3):
+
+    * the hit version is superseded (``S-O``/``S-S``) — some logically-later
+      VID already superseded or is being served by this copy;
+    * ``req_vid < high_vid`` on a latest version — a logically-later load or
+      store already touched the line (read-after-write / output hazard).
+    """
+    if state in SUPERSEDED_SPEC_STATES:
+        return WriteOutcome.ABORT
+    if state in LATEST_SPEC_STATES:
+        if req_vid < high_vid:
+            return WriteOutcome.ABORT
+        if req_vid == mod_vid:
+            return WriteOutcome.IN_PLACE
+        return WriteOutcome.NEW_VERSION
+    # Non-speculative version: always safe, creates the first speculative
+    # version of the line.
+    return WriteOutcome.NEW_VERSION
+
+
+def plan_new_version(state: State, mod_vid: int, high_vid: int,
+                     req_vid: int) -> NewVersionPlan:
+    """Plan the copy-creating write of Figure 4.
+
+    The previously-latest copy is preserved unmodified in ``S-O`` with its
+    ``highVID`` raised to the writing VID, so that reads with lower VIDs can
+    still find their data (write-after-read correctness).  The new version
+    starts life as ``S-M(a, a)``.
+    """
+    if write_outcome(state, mod_vid, high_vid, req_vid) is not WriteOutcome.NEW_VERSION:
+        raise ValueError("plan_new_version requires a NEW_VERSION outcome")
+    if is_speculative(state):
+        old_vids = (mod_vid, req_vid)
+    else:
+        old_vids = (0, req_vid)
+    return NewVersionPlan(
+        old_state=State.SO,
+        old_vids=old_vids,
+        new_vids=(req_vid, req_vid),
+    )
+
+
+def commit_transition(state: State, mod_vid: int, high_vid: int,
+                      commit_vid: int) -> Tuple[State, Vids]:
+    """Apply Figure 6's commit state machine to one version.
+
+    * ``commit_vid >= highVID``: every transaction that touched this version
+      has committed.  Latest versions become plain non-speculative lines
+      (``S-M -> M``, ``S-E -> E``); superseded copies are dead
+      (``S-O``/``S-S -> I``).
+    * ``commit_vid < highVID``: the version stays speculative, but if its
+      creating store belongs to a committed transaction (``modVID`` at or
+      below the commit VID) the data is now architecturally real and
+      ``modVID`` drops to 0.
+
+    The ``modVID <= commit_vid`` generalisation of the figure's
+    ``modVID == commit_vid`` condition is what lets several consecutive
+    commits be folded into a single lazy processing step (section 5.3).
+    """
+    if not is_speculative(state):
+        return state, (mod_vid, high_vid)
+    if commit_vid >= high_vid:
+        if state is State.SM:
+            return State.MODIFIED, (0, 0)
+        if state is State.SE:
+            return State.EXCLUSIVE, (0, 0)
+        return State.INVALID, (0, 0)
+    if 0 < mod_vid <= commit_vid:
+        return state, (0, high_vid)
+    return state, (mod_vid, high_vid)
+
+
+def abort_transition(state: State, mod_vid: int, high_vid: int) -> Tuple[State, Vids]:
+    """Apply Figure 7's abort state machine to one version.
+
+    Versions created by a speculative store (``modVID > 0``) hold doomed
+    data and are invalidated.  Versions with ``modVID == 0`` hold
+    architecturally-real data that was merely *read* speculatively (or
+    backed up before a speculative write); they shed their speculative
+    marking.
+
+    Deviation from the paper's figure (see DESIGN.md): the figure maps
+    ``S-M -> M`` and ``S-E -> E``, i.e. back to *exclusive* states.  But a
+    surviving owner may still have ``S-S``-derived peer copies that also
+    survive the abort (as ``S``); an owner that claims exclusivity could
+    then silently write while a stale shared copy keeps serving old data.
+    We therefore map to the shared states — ``S-M -> O``, ``S-E -> S``
+    (``S-O -> O``, ``S-S -> S`` as in the figure) — which preserves data
+    and dirtiness and merely costs one upgrade transaction on the next
+    write.  Aborts are rare, so this is squarely within the paper's
+    "push slowdowns to the rare abort case" philosophy.
+    """
+    if not is_speculative(state):
+        return state, (mod_vid, high_vid)
+    if mod_vid > 0:
+        return State.INVALID, (0, 0)
+    mapping = {
+        State.SM: State.OWNED,
+        State.SE: State.SHARED,
+        State.SO: State.OWNED,
+        State.SS: State.SHARED,
+    }
+    return mapping[state], (0, 0)
+
+
+def reset_transition(state: State, mod_vid: int, high_vid: int) -> Tuple[State, Vids]:
+    """Apply the VID-reset scrub of section 4.6 to one version.
+
+    A reset is only legal once every outstanding transaction has committed,
+    so any surviving latest version is real data (``-> M``/``E``) and any
+    surviving superseded copy can never be hit again (``-> I``).
+    """
+    return commit_transition(state, mod_vid, high_vid, commit_vid=high_vid)
+
+
+def snoop_response_state(owner_state: State) -> Optional[State]:
+    """State in which a *peer* requester caches a read copy of a version.
+
+    ``S-S`` copies never respond to snoops (exactly one of ``S-M``/``S-O``/
+    ``S-E`` answers instead, section 4.1); the requester receives a shared
+    speculative copy.
+    """
+    if owner_state is State.SS:
+        return None
+    if is_speculative(owner_state):
+        return State.SS
+    if owner_state in (State.MODIFIED, State.OWNED):
+        return State.SHARED
+    if owner_state in (State.EXCLUSIVE, State.SHARED):
+        return State.SHARED
+    return None

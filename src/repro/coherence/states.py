@@ -1,0 +1,79 @@
+"""Coherence states: MOESI plus the four speculative HMTX states.
+
+The base protocol is snoopy MOESI (section 4.1).  HMTX adds four
+*speculative* states:
+
+``S-M`` (:attr:`State.SM`)
+    The latest speculative version of a line with respect to original
+    program order, dirty w.r.t. memory.
+``S-O`` (:attr:`State.SO`)
+    A speculatively accessed version later superseded by a speculative
+    write with a higher VID; kept so lower-VID reads find their data.
+``S-E`` (:attr:`State.SE`)
+    Like S-M, but no version of the line was ever modified (clean);
+    ``modVID`` is always 0 in this state.
+``S-S`` (:attr:`State.SS`)
+    A shared copy of a speculatively accessed line in a peer cache; never
+    responds to snoops (an S-M/S-O/S-E copy responds instead).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class State(enum.Enum):
+    """MOESI + speculative coherence states of a cache line."""
+
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+    OWNED = "O"
+    MODIFIED = "M"
+    SM = "S-M"
+    SO = "S-O"
+    SE = "S-E"
+    SS = "S-S"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+SPECULATIVE_STATES = frozenset({State.SM, State.SO, State.SE, State.SS})
+NONSPECULATIVE_STATES = frozenset(
+    {State.INVALID, State.SHARED, State.EXCLUSIVE, State.OWNED, State.MODIFIED}
+)
+
+#: States whose data differs from (or may differ from) main memory and must
+#: eventually be written back: M and O, plus S-M / S-O versions carrying
+#: speculative or not-yet-written-back data.
+DIRTY_STATES = frozenset({State.MODIFIED, State.OWNED, State.SM, State.SO})
+
+#: States that may be silently dropped without writeback.
+CLEAN_STATES = frozenset({State.SHARED, State.EXCLUSIVE, State.SE, State.SS})
+
+#: "Latest version" speculative states: the copy that a write with a high
+#: enough VID may extend, and that answers snoops for VIDs >= modVID.
+LATEST_SPEC_STATES = frozenset({State.SM, State.SE})
+
+#: Superseded / shared speculative states that only serve reads with VIDs
+#: strictly below their highVID.
+SUPERSEDED_SPEC_STATES = frozenset({State.SO, State.SS})
+
+#: States granting write permission without a bus transaction.
+WRITABLE_STATES = frozenset({State.MODIFIED, State.EXCLUSIVE})
+
+
+def is_speculative(state: State) -> bool:
+    """True for the four HMTX speculative states."""
+    return state in SPECULATIVE_STATES
+
+
+def is_dirty(state: State) -> bool:
+    """True when a line in ``state`` must be written back before dropping."""
+    return state in DIRTY_STATES
+
+
+def is_valid(state: State) -> bool:
+    """True for any state other than Invalid."""
+    return state is not State.INVALID

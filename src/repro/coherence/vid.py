@@ -1,0 +1,173 @@
+"""Version IDs (VIDs) for multithreaded transactions.
+
+Every multithreaded transaction (MTX) is assigned a *version ID* in original
+sequential program order (paper section 3).  VID 0 is reserved for
+non-speculative execution.  VIDs are stored in ``m`` bits of tag per cache
+line (the paper uses ``m = 6``), so the space is finite and must be recycled
+through the *VID reset* protocol of section 4.6.
+
+This module provides:
+
+* :class:`VidSpace` — the finite VID namespace, allocation in program order,
+  exhaustion detection, and the reset protocol bookkeeping.
+* :class:`CascadedComparator` — a behavioural model of the split high/low-bit
+  comparator of section 4.5, used by the power model and statistics to count
+  how often the slow cascading path is exercised.
+
+VIDs themselves are plain ``int``s; keeping them primitive keeps the
+simulator's inner loop cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+NONSPECULATIVE_VID = 0
+"""VID attached to non-speculative memory operations."""
+
+DEFAULT_VID_BITS = 6
+"""The paper settles on m = 6 bits per VID as a fair medium (section 4.6)."""
+
+
+class VidExhaustedError(RuntimeError):
+    """Raised when a new VID is requested but the m-bit space is used up.
+
+    Software must wait for the transaction holding the maximum VID to commit
+    and then trigger a :meth:`VidSpace.reset` (section 4.6).
+    """
+
+
+@dataclass
+class VidSpace:
+    """The finite, program-ordered VID namespace of an HMTX machine.
+
+    Parameters
+    ----------
+    bits:
+        Number of tag bits per VID (``m`` in the paper).  Usable speculative
+        VIDs are ``1 .. 2**bits - 1``; VID 0 is non-speculative.
+    """
+
+    bits: int = DEFAULT_VID_BITS
+    _next: int = field(default=1, init=False)
+    _resets: int = field(default=0, init=False)
+    _allocated_total: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("VID space needs at least 1 bit")
+
+    @property
+    def max_vid(self) -> int:
+        """Largest usable VID, ``2**bits - 1``."""
+        return (1 << self.bits) - 1
+
+    @property
+    def next_vid(self) -> int:
+        """The VID the next :meth:`allocate` call will hand out."""
+        return self._next
+
+    @property
+    def resets(self) -> int:
+        """How many VID resets have been performed so far."""
+        return self._resets
+
+    @property
+    def allocated_total(self) -> int:
+        """Total number of VIDs handed out across all reset epochs."""
+        return self._allocated_total
+
+    def exhausted(self) -> bool:
+        """True when no further VID can be allocated before a reset."""
+        return self._next > self.max_vid
+
+    def allocate(self) -> int:
+        """Return the next VID in original program order.
+
+        Raises
+        ------
+        VidExhaustedError
+            When all ``2**bits - 1`` speculative VIDs of this epoch are in
+            use.  The caller must drain outstanding commits and call
+            :meth:`reset`.
+        """
+        if self.exhausted():
+            raise VidExhaustedError(
+                f"all {self.max_vid} VIDs allocated; VID reset required"
+            )
+        vid = self._next
+        self._next += 1
+        self._allocated_total += 1
+        return vid
+
+    def reset(self) -> None:
+        """Recycle the namespace after the maximum VID has committed.
+
+        The memory-system side of the reset (clearing ``LC_VID`` registers
+        and, after an abort, line VIDs) is performed by the cache hierarchy;
+        this method only restarts allocation at VID 1.
+        """
+        self._next = 1
+        self._resets += 1
+
+    def rewind(self, vid: int) -> None:
+        """Make ``vid`` the next VID to be allocated (abort recovery).
+
+        After an abort flushes all uncommitted state, the aborted VIDs may be
+        reissued for the re-executed transactions; the runtime rewinds the
+        allocator to the first aborted VID.
+        """
+        if not 1 <= vid <= self.max_vid + 1:
+            raise ValueError(f"cannot rewind to VID {vid}")
+        self._next = vid
+
+
+@dataclass
+class CascadedComparator:
+    """Behavioural model of the split VID comparator (section 4.5).
+
+    Instead of two full m-bit comparisons per cache-set check, the high
+    ``bits - low_bits`` bits are checked for equality while the low
+    ``low_bits`` bits are magnitude-compared.  When the *high* bits of the two
+    operands differ the fast path is insufficient and a cascading (slower)
+    comparison completes the check.  The model counts both cases so the
+    evaluation can report how rarely the slow path fires.
+    """
+
+    bits: int = DEFAULT_VID_BITS
+    #: Width of the magnitude-compared low field; defaults to half the VID.
+    low_bits: Optional[int] = None
+    fast_comparisons: int = field(default=0, init=False)
+    cascaded_comparisons: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.low_bits is None:
+            self.low_bits = max(1, self.bits // 2)
+        if not 0 < self.low_bits <= self.bits:
+            raise ValueError("low_bits must be in (0, bits]")
+
+    def compare(self, a: int, b: int) -> int:
+        """Three-way compare ``a`` vs ``b``; returns negative/zero/positive.
+
+        Counts whether the fast path (equal high bits) or the cascading path
+        was needed, mirroring section 4.5's energy argument.
+        """
+        high_shift = self.low_bits
+        if (a >> high_shift) == (b >> high_shift):
+            self.fast_comparisons += 1
+        else:
+            self.cascaded_comparisons += 1
+        return (a > b) - (a < b)
+
+    @property
+    def total_comparisons(self) -> int:
+        return self.fast_comparisons + self.cascaded_comparisons
+
+    @property
+    def cascade_fraction(self) -> float:
+        """Fraction of comparisons that needed the slow cascading path."""
+        total = self.total_comparisons
+        if total == 0:
+            return 0.0
+        return self.cascaded_comparisons / total

@@ -1,0 +1,46 @@
+"""Automatic speculative parallelization (the paper's section 8 end goal).
+
+A small DSWP compiler over a loop IR:
+
+1. describe the hot loop as statements over symbolic locations
+   (:mod:`~repro.compiler.loopir`);
+2. build the program dependence graph, with may-dependences weighted by
+   profile probabilities (:mod:`~repro.compiler.pdg`);
+3. speculate low-probability dependences away, condense SCCs, and assign
+   them to a 3-stage speculative pipeline (:mod:`~repro.compiler.partition`);
+4. generate a runnable workload whose dataflow rides on HMTX's versioned
+   memory (:mod:`~repro.compiler.codegen`).
+
+The generated code contains **no speculation-validation checks**: HMTX's
+maximal hardware validation is what makes the compiler's aggressive
+speculation safe — the paper's closing argument, executable.
+"""
+
+from .codegen import CompiledWorkload, compile_loop
+from .loopir import Location, Loop, Statement
+from .partition import PartitionError, PipelinePlan, plan_pipeline
+from .pdg import (
+    Dependence,
+    build_pdg,
+    carried_dependences,
+    condense,
+    may_dependences,
+    remove_speculated,
+)
+
+__all__ = [
+    "CompiledWorkload",
+    "Dependence",
+    "Location",
+    "Loop",
+    "PartitionError",
+    "PipelinePlan",
+    "Statement",
+    "build_pdg",
+    "carried_dependences",
+    "compile_loop",
+    "condense",
+    "may_dependences",
+    "plan_pipeline",
+    "remove_speculated",
+]

@@ -1,0 +1,146 @@
+"""Program dependence graph construction over the loop IR.
+
+Edges are data dependences between statements, each labelled:
+
+* ``carried`` — does the dependence cross iterations?  Only *scalar*
+  locations carry (arrays are per-iteration).  Within one iteration a
+  scalar flows from a writer to later readers; across iterations it flows
+  from every writer to every reader (and writer) of the same scalar.
+* ``may`` / ``probability`` — dependences through ``maybe_writes``
+  locations manifest only on some iterations; the partitioner may
+  speculate them away when the profiled probability is low (HMTX's
+  hardware validation catches the rare manifestations).
+
+DSWP's central theorem: statements in a dependence *cycle* (an SCC of this
+graph restricted to carried edges) must stay together in a sequential
+pipeline stage; acyclic statements can flow downstream, and stages whose
+statements carry no dependence at all can replicate (PS-DSWP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from .loopir import Loop, Statement
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One PDG edge."""
+
+    src: str
+    dst: str
+    location: str
+    carried: bool
+    may: bool
+    probability: float      # 1.0 for must-dependences
+
+    def describe(self) -> str:
+        kind = "carried" if self.carried else "intra"
+        flavour = f"may p={self.probability:.2f}" if self.may else "must"
+        return f"{self.src} -> {self.dst} via {self.location} ({kind}, {flavour})"
+
+
+def build_pdg(loop: Loop) -> nx.MultiDiGraph:
+    """Construct the loop's program dependence graph.
+
+    Nodes are statement names (with the Statement object attached); edges
+    carry :class:`Dependence` records.
+    """
+    graph = nx.MultiDiGraph()
+    for stmt in loop.statements:
+        graph.add_node(stmt.name, statement=stmt)
+
+    order = {stmt.name: idx for idx, stmt in enumerate(loop.statements)}
+
+    def add_edge(src: Statement, dst: Statement, loc: str, carried: bool,
+                 probability: float) -> None:
+        dep = Dependence(src.name, dst.name, loc, carried,
+                         may=probability < 1.0, probability=probability)
+        graph.add_edge(src.name, dst.name, dependence=dep)
+
+    for loc_name, location in loop.locations.items():
+        writers = [(s, s.maybe_writes.get(loc_name, 1.0))
+                   for s in loop.statements if loc_name in s.all_writes()]
+        readers = [s for s in loop.statements if loc_name in s.reads]
+        if not location.is_scalar:
+            # Arrays: intra-iteration flow only (writer before reader).
+            for writer, prob in writers:
+                for reader in readers:
+                    if order[writer.name] < order[reader.name]:
+                        add_edge(writer, reader, loc_name, False, prob)
+            continue
+        # Scalars: intra-iteration flow to later statements...
+        for writer, prob in writers:
+            for reader in readers:
+                if order[writer.name] < order[reader.name]:
+                    add_edge(writer, reader, loc_name, False, prob)
+        # ...and loop-carried flow to every reader/writer in the next
+        # iteration (conservatively, regardless of intra-iteration order).
+        for writer, prob in writers:
+            for reader in readers:
+                add_edge(writer, reader, loc_name, True, prob)
+            for other, other_prob in writers:
+                if other.name != writer.name:
+                    add_edge(writer, other, loc_name, True,
+                             min(prob, other_prob))
+    return graph
+
+
+def carried_dependences(graph: nx.MultiDiGraph) -> List[Dependence]:
+    return [data["dependence"] for _, _, data in graph.edges(data=True)
+            if data["dependence"].carried]
+
+
+def may_dependences(graph: nx.MultiDiGraph) -> List[Dependence]:
+    return [data["dependence"] for _, _, data in graph.edges(data=True)
+            if data["dependence"].may]
+
+
+def remove_speculated(graph: nx.MultiDiGraph,
+                      threshold: float) -> Tuple[nx.MultiDiGraph, List[Dependence]]:
+    """Drop may-dependences with manifestation probability <= threshold.
+
+    Returns the speculative PDG and the list of *speculated assumptions* —
+    the dependences the generated code relies on HMTX to validate.
+    """
+    speculative = nx.MultiDiGraph()
+    speculative.add_nodes_from(graph.nodes(data=True))
+    speculated: List[Dependence] = []
+    for src, dst, data in graph.edges(data=True):
+        dep: Dependence = data["dependence"]
+        if dep.may and dep.probability <= threshold:
+            speculated.append(dep)
+        else:
+            speculative.add_edge(src, dst, dependence=dep)
+    return speculative, speculated
+
+
+def condense(graph: nx.MultiDiGraph) -> Tuple[nx.DiGraph, Dict[str, int]]:
+    """SCC condensation; returns (DAG of SCCs, statement -> SCC id)."""
+    simple = nx.DiGraph()
+    simple.add_nodes_from(graph.nodes())
+    simple.add_edges_from((u, v) for u, v, _ in graph.edges(keys=True))
+    condensation = nx.condensation(simple)
+    membership = {}
+    for scc_id, members in condensation.nodes(data="members"):
+        for name in members:
+            membership[name] = scc_id
+    return condensation, membership
+
+
+def scc_is_sequential(graph: nx.MultiDiGraph, members) -> bool:
+    """Must this SCC stay in a sequential stage?
+
+    True when its statements participate in a (non-speculated) carried
+    dependence among themselves — the pointer-chase pattern.
+    """
+    members = set(members)
+    for src, dst, data in graph.edges(data=True):
+        dep: Dependence = data["dependence"]
+        if dep.carried and src in members and dst in members:
+            return True
+    return False

@@ -1,0 +1,44 @@
+"""Per-hardware-thread HMTX state.
+
+Each thread context carries the VID register that ``beginMTX`` sets
+(section 3.1) — the VID attached to every memory operation the thread issues
+— plus the recovery handler registered via ``initMTX`` and the output buffer
+of section 4.7 (program output inside a transaction must not escape until
+commit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass
+class ThreadContext:
+    """Architectural HMTX state of one hardware thread."""
+
+    tid: int
+    core: int
+    #: The VID register set by ``beginMTX``; 0 means non-speculative.
+    vid: int = 0
+    #: Recovery code registered by ``initMTX``; invoked on abort.
+    recovery_handler: Optional[Callable[..., Any]] = None
+    #: Output produced inside uncommitted transactions, keyed by VID.
+    _pending_output: dict = field(default_factory=dict)
+
+    def buffer_output(self, value: Any) -> None:
+        """Buffer transactional output until the owning VID commits (4.7)."""
+        self._pending_output.setdefault(self.vid, []).append(value)
+
+    def release_output(self, vid: int) -> List[Any]:
+        """Drain the output buffered under ``vid`` (called at commit)."""
+        return self._pending_output.pop(vid, [])
+
+    def discard_output(self) -> int:
+        """Drop all uncommitted output (called on abort); returns count."""
+        dropped = sum(len(v) for v in self._pending_output.values())
+        self._pending_output.clear()
+        return dropped
+
+    def pending_output_count(self) -> int:
+        return sum(len(v) for v in self._pending_output.values())

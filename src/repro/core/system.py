@@ -1,0 +1,271 @@
+"""The HMTX system: the paper's programming interface over the hierarchy.
+
+:class:`HMTXSystem` exposes the four new instructions of section 3.1 —
+``beginMTX`` / ``commitMTX`` / ``abortMTX`` / ``initMTX`` — plus speculative
+loads and stores that carry the issuing thread's VID register, on top of the
+versioned cache hierarchy of :mod:`repro.coherence`.
+
+It also owns the machinery that sits between the ISA and the protocol:
+
+* VID allocation in original program order and the reset protocol (4.6/4.7),
+* consecutive-commit-order enforcement (4.4: behaviour is undefined
+  otherwise, so we make it a hard error),
+* SLA bookkeeping for branch-speculative loads (5.1),
+* transactional output buffering (4.7),
+* read/write-set and abort statistics (Table 1, Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from ..coherence.hierarchy import AccessResult, MemoryHierarchy
+from ..coherence.vid import VidSpace
+from ..errors import MisspeculationError, TransactionUsageError
+from .config import MachineConfig
+from .context import ThreadContext
+from .sla import SlaTracker
+from .stats import SystemStats
+
+
+class HMTXSystem:
+    """A multicore machine with HMTX extensions.
+
+    Parameters
+    ----------
+    config:
+        Machine configuration (defaults to the paper's Table 2).
+    sla_enabled:
+        When False, wrong-path loads genuinely mark cache lines (the naive
+        pre-SLA design of section 5.1) — used by the SLA ablation.
+    """
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 sla_enabled: bool = True) -> None:
+        self.config = config or MachineConfig()
+        self.hierarchy = self.config.build_hierarchy()
+        self.vid_space = VidSpace(bits=self.config.vid_bits)
+        self.stats = SystemStats(line_size=self.config.line_size)
+        self.sla = SlaTracker(enabled=sla_enabled,
+                              line_size=self.config.line_size)
+        self.contexts: Dict[int, ThreadContext] = {}
+        self.last_committed = 0
+        self.active_vids: Set[int] = set()
+        self.committed_output: list = []
+        #: Lines marked by wrong-path loads in no-SLA mode, to attribute
+        #: the resulting aborts as *false* (SLA-preventable).
+        self._wrong_path_marks: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Thread management
+    # ------------------------------------------------------------------
+
+    def thread(self, tid: int, core: int) -> ThreadContext:
+        """Register (or fetch) the context of hardware thread ``tid``."""
+        if tid not in self.contexts:
+            if not 0 <= core < self.config.num_cores:
+                raise ValueError(f"core {core} out of range")
+            self.contexts[tid] = ThreadContext(tid=tid, core=core)
+        return self.contexts[tid]
+
+    def migrate(self, tid: int, core: int) -> None:
+        """Move a thread to another core (section 5.2: speculative threads
+        can migrate; their data is found through the transaction's VID)."""
+        if not 0 <= core < self.config.num_cores:
+            raise ValueError(f"core {core} out of range")
+        self.contexts[tid].core = core
+
+    # ------------------------------------------------------------------
+    # VID lifecycle (sections 4.6, 4.7)
+    # ------------------------------------------------------------------
+
+    def allocate_vid(self) -> int:
+        """Allocate the next VID in original program order.
+
+        Raises :class:`~repro.coherence.vid.VidExhaustedError` when the
+        m-bit space is used up; the runtime must then drain commits and
+        call :meth:`vid_reset`.
+        """
+        vid = self.vid_space.allocate()
+        self.active_vids.add(vid)
+        return vid
+
+    def ready_for_vid_reset(self) -> bool:
+        """All VIDs used and every transaction committed (4.6)."""
+        return self.vid_space.exhausted() and not self.active_vids
+
+    def vid_reset(self) -> int:
+        """Recycle the VID space; returns the broadcast latency."""
+        if self.active_vids:
+            raise TransactionUsageError(
+                f"VID reset with live transactions: {sorted(self.active_vids)}")
+        latency = self.hierarchy.vid_reset()
+        self.vid_space.reset()
+        self.last_committed = 0
+        self.stats.vid_resets += 1
+        return latency
+
+    # ------------------------------------------------------------------
+    # The four MTX instructions (section 3.1)
+    # ------------------------------------------------------------------
+
+    def begin_mtx(self, tid: int, vid: int) -> int:
+        """``beginMTX(VID)``: set the thread's VID register.
+
+        VID 0 moves the thread back to non-speculative execution without
+        committing anything.  Returns the instruction latency.
+        """
+        if vid < 0 or vid > self.vid_space.max_vid:
+            raise TransactionUsageError(f"VID {vid} outside 0..{self.vid_space.max_vid}")
+        if vid > 0:
+            if vid <= self.last_committed:
+                raise TransactionUsageError(
+                    f"beginMTX({vid}) after VID {self.last_committed} committed")
+            self.active_vids.add(vid)
+        ctx = self.contexts[tid]
+        ctx.vid = vid
+        return self.config.op_costs.mtx_instruction
+
+    def init_mtx(self, tid: int, handler: Callable[..., Any]) -> int:
+        """``initMTX(pc)``: register this thread's recovery code."""
+        self.contexts[tid].recovery_handler = handler
+        return self.config.op_costs.mtx_instruction
+
+    def commit_mtx(self, tid: int, vid: int) -> int:
+        """``commitMTX(VID)``: atomic group commit of the whole MTX.
+
+        Enforces the section 4.4/4.7 software contract: commits occur in
+        consecutive VID order, exactly once, by exactly one thread of the
+        transaction.  Returns the commit latency (cheap — lazy scheme).
+        """
+        if vid != self.last_committed + 1:
+            raise TransactionUsageError(
+                f"commitMTX({vid}) out of order; expected "
+                f"{self.last_committed + 1}")
+        if vid not in self.active_vids:
+            raise TransactionUsageError(f"commitMTX({vid}) of unknown VID")
+        latency = self.hierarchy.commit(vid)
+        self.active_vids.discard(vid)
+        self.last_committed = vid
+        self.stats.record_commit(vid)
+        self.sla.on_commit(vid)
+        ctx = self.contexts[tid]
+        for context in self.contexts.values():
+            self.committed_output.extend(context.release_output(vid))
+        if ctx.vid == vid:
+            ctx.vid = 0
+        return latency
+
+    def abort_mtx(self, tid: int, vid: int) -> int:
+        """``abortMTX(VID)``: software-detected misspeculation.
+
+        Flushes *all* uncommitted transactional state (section 4.4's
+        simple-and-rare abort philosophy), then raises
+        :class:`~repro.errors.MisspeculationError` so every thread unwinds
+        to its registered recovery code (the runtime restarts execution
+        from the last committed iteration).
+        """
+        self._abort(explicit=True)
+        raise MisspeculationError(f"explicit abortMTX({vid})", vid=vid)
+
+    # ------------------------------------------------------------------
+    # Memory operations
+    # ------------------------------------------------------------------
+
+    def load(self, tid: int, addr: int, now: int = 0) -> AccessResult:
+        """Load with the thread's current VID attached."""
+        ctx = self.contexts[tid]
+        result = self.hierarchy.load(ctx.core, addr, ctx.vid, now=now)
+        if ctx.vid > 0:
+            # The SLA (if one is needed) is sent when the load retires; it
+            # is buffered store-queue style, so it adds traffic but no
+            # program-order latency (section 5.1).
+            self.stats.record_load(ctx.vid, addr, sla_sent=result.sla_required)
+        return result
+
+    def store(self, tid: int, addr: int, value: int,
+              now: int = 0) -> AccessResult:
+        """Store with the thread's current VID attached."""
+        ctx = self.contexts[tid]
+        try:
+            result = self.hierarchy.store(ctx.core, addr, ctx.vid, value, now=now)
+        except MisspeculationError:
+            line = addr - (addr % self.config.line_size)
+            if not self.sla.enabled and line in self._wrong_path_marks:
+                self.stats.false_aborts_triggered += 1
+            self._abort(explicit=False)
+            raise
+        if ctx.vid > 0:
+            self.stats.record_store(ctx.vid, addr)
+            if self.sla.enabled and self.sla.check_store(addr, ctx.vid):
+                self.stats.false_aborts_avoided += 1
+        return result
+
+    def wrong_path_load(self, tid: int, addr: int) -> Tuple[int, int]:
+        """A branch-speculative load that will be squashed (section 5.1).
+
+        With SLAs enabled the load's data flows through the hierarchy but no
+        line is marked (the SLA is simply never sent).  With SLAs disabled
+        the load marks the line like any speculative load — setting up the
+        false misspeculations the mechanism exists to avoid.
+
+        Returns ``(value, latency)``.
+        """
+        ctx = self.contexts[tid]
+        self.stats.wrong_path_loads += 1
+        if self.sla.enabled or ctx.vid == 0:
+            value, latency = self.hierarchy.peek(ctx.core, addr, ctx.vid)
+            if ctx.vid > 0:
+                hit = self.hierarchy.l1s[ctx.core].lookup(addr, ctx.vid)
+                would_mark = (hit is None or not hit.is_speculative()
+                              or hit.high_vid < ctx.vid)
+                self.sla.record_wrong_path(addr, ctx.vid, would_mark)
+            return value, latency
+        result = self.hierarchy.load(ctx.core, addr, ctx.vid)
+        self._wrong_path_marks.add(addr - (addr % self.config.line_size))
+        return result.value, result.latency
+
+    def kernel_load(self, tid: int, addr: int) -> AccessResult:
+        """A load from interrupt/exception-handler code (section 5.2).
+
+        Handler PCs fall outside the registered text segment, so no VID is
+        attached regardless of the thread's VID register.
+        """
+        ctx = self.contexts[tid]
+        return self.hierarchy.load(ctx.core, addr, 0)
+
+    def kernel_store(self, tid: int, addr: int, value: int) -> AccessResult:
+        """A store from interrupt/exception-handler code (section 5.2)."""
+        ctx = self.contexts[tid]
+        return self.hierarchy.store(ctx.core, addr, 0, value)
+
+    def output(self, tid: int, value: Any) -> None:
+        """Emit program output; buffered until commit inside an MTX (4.7)."""
+        ctx = self.contexts[tid]
+        if ctx.vid > 0:
+            ctx.buffer_output(value)
+        else:
+            self.committed_output.append(value)
+
+    # ------------------------------------------------------------------
+    # Abort/recovery plumbing
+    # ------------------------------------------------------------------
+
+    def _abort(self, explicit: bool) -> int:
+        latency = self.hierarchy.abort()
+        self.stats.record_abort(explicit=explicit)
+        self.sla.on_abort()
+        self._wrong_path_marks.clear()
+        dropped = 0
+        for ctx in self.contexts.values():
+            dropped += ctx.discard_output()
+            ctx.vid = 0
+        self.active_vids.clear()
+        # Aborted VIDs are recycled: re-executed transactions restart right
+        # after the last committed VID.
+        self.vid_space.rewind(self.last_committed + 1)
+        return latency
+
+    def recovery_handlers(self) -> Dict[int, Optional[Callable[..., Any]]]:
+        """The per-thread recovery code registered via ``initMTX``."""
+        return {tid: ctx.recovery_handler for tid, ctx in self.contexts.items()}

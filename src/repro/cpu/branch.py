@@ -1,0 +1,102 @@
+"""Branch predictor models.
+
+Branch misprediction matters to HMTX because wrong-path loads that already
+executed would, naively, mark cache lines with their VID and later trigger
+*false* misspeculations (section 5.1).  The evaluation's benchmarks have
+mispredict rates between 0.245% and 5.59% (Table 1), so the predictor model
+must produce a controllable, repeatable mispredict stream.
+
+Two models are provided:
+
+* :class:`GsharePredictor` — a real gshare (global history XOR PC indexing a
+  2-bit counter table).  Used by protocol-level tests to get organic
+  mispredict behaviour.
+* :class:`CalibratedPredictor` — mispredicts at a configured rate using a
+  deterministic LCG stream.  Used by the workload models so each benchmark
+  reproduces its Table 1 mispredict rate exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PredictorStats:
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class BranchPredictor:
+    """Interface: :meth:`predict` returns True when the branch mispredicts."""
+
+    def __init__(self) -> None:
+        self.stats = PredictorStats()
+
+    def predict(self, pc: int, taken: bool) -> bool:
+        raise NotImplementedError
+
+
+class GsharePredictor(BranchPredictor):
+    """Classic gshare: global-history XOR PC indexes 2-bit counters."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12) -> None:
+        super().__init__()
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._table = [2] * (1 << table_bits)  # weakly taken
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+
+    def predict(self, pc: int, taken: bool) -> bool:
+        index = ((pc >> 2) ^ self._history) & ((1 << self.table_bits) - 1)
+        counter = self._table[index]
+        predicted_taken = counter >= 2
+        mispredicted = predicted_taken != taken
+        # Update the 2-bit saturating counter and global history.
+        if taken:
+            self._table[index] = min(3, counter + 1)
+        else:
+            self._table[index] = max(0, counter - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        self.stats.predictions += 1
+        if mispredicted:
+            self.stats.mispredictions += 1
+        return mispredicted
+
+
+class CalibratedPredictor(BranchPredictor):
+    """Mispredicts at a fixed rate, deterministically.
+
+    A 64-bit LCG drives the decision so runs are reproducible and the
+    realised rate converges to ``rate`` (used to dial in each benchmark's
+    Table 1 mispredict rate).
+    """
+
+    _LCG_MULT = 6364136223846793005
+    _LCG_INC = 1442695040888963407
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, rate: float, seed: int = 0xC0FFEE) -> None:
+        super().__init__()
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("mispredict rate must be in [0, 1]")
+        self.rate = rate
+        self._state = seed & self._MASK
+
+    def _next_unit(self) -> float:
+        self._state = (self._state * self._LCG_MULT + self._LCG_INC) & self._MASK
+        return (self._state >> 11) / float(1 << 53)
+
+    def predict(self, pc: int, taken: bool) -> bool:
+        mispredicted = self._next_unit() < self.rate
+        self.stats.predictions += 1
+        if mispredicted:
+            self.stats.mispredictions += 1
+        return mispredicted

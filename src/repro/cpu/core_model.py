@@ -1,0 +1,129 @@
+"""Core execution model: charges cycles for ops and drives branch prediction.
+
+The :class:`CoreExecutor` is the bridge between the instruction IR
+(:mod:`repro.cpu.isa`) and the HMTX system.  It is deliberately simple — a
+fixed cost per non-memory op, hierarchy-provided latency for memory ops, and
+a mispredict penalty with wrong-path load side effects — because the paper's
+phenomena live in the memory system, not in out-of-order scheduling detail.
+
+Wrong-path loads are the one microarchitectural detail HMTX *does* depend
+on (section 5.1): on a mispredicted branch, the loads listed on the op's
+wrong path execute (moving data and, without SLAs, marking lines) before the
+squash.  Their latency hides under the mispredict penalty, as it would in an
+out-of-order core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .branch import BranchPredictor, GsharePredictor
+from .isa import (
+    AbortMTX,
+    BeginMTX,
+    Branch,
+    CommitMTX,
+    InitMTX,
+    Load,
+    Op,
+    OpCosts,
+    Output,
+    Store,
+    Work,
+)
+
+
+@dataclass
+class ExecStats:
+    """Per-run instruction mix, for Table 1's branch columns."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+
+    @property
+    def branch_fraction(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.branches / self.instructions
+
+    @property
+    def mispredict_rate(self) -> float:
+        if self.branches == 0:
+            return 0.0
+        return self.mispredicts / self.branches
+
+
+class CoreExecutor:
+    """Executes IR ops for all threads of one simulated machine."""
+
+    def __init__(self, system, costs: Optional[OpCosts] = None,
+                 predictor_factory: Optional[Callable[[], BranchPredictor]] = None
+                 ) -> None:
+        self.system = system
+        self.costs = costs or system.config.op_costs
+        self._predictor_factory = predictor_factory or GsharePredictor
+        self._predictors: Dict[int, BranchPredictor] = {}
+        self._pc: Dict[int, int] = {}
+        self.stats = ExecStats()
+
+    def predictor(self, tid: int) -> BranchPredictor:
+        if tid not in self._predictors:
+            self._predictors[tid] = self._predictor_factory()
+        return self._predictors[tid]
+
+    def execute(self, tid: int, op: Op, now: int = 0) -> Tuple[Any, int]:
+        """Execute ``op`` for thread ``tid`` at core-local time ``now``.
+
+        Returns ``(value, latency_cycles)``; ``value`` is sent back into the
+        workload generator (meaningful for :class:`Load`).
+        May raise :class:`~repro.errors.MisspeculationError`.
+        """
+        self.stats.instructions += 1
+        self._pc[tid] = self._pc.get(tid, 0) + 4
+        if isinstance(op, Work):
+            self.stats.instructions += max(0, op.cycles - 1)
+            return None, op.cycles * self.costs.work_unit
+        if isinstance(op, Load):
+            self.stats.loads += 1
+            result = self.system.load(tid, op.addr, now=now)
+            return result.value, result.latency
+        if isinstance(op, Store):
+            self.stats.stores += 1
+            result = self.system.store(tid, op.addr, op.value, now=now)
+            return None, result.latency
+        if isinstance(op, Branch):
+            return None, self._execute_branch(tid, op)
+        if isinstance(op, BeginMTX):
+            return None, self.system.begin_mtx(tid, op.vid)
+        if isinstance(op, CommitMTX):
+            return None, self.system.commit_mtx(tid, op.vid)
+        if isinstance(op, AbortMTX):
+            return None, self.system.abort_mtx(tid, op.vid)
+        if isinstance(op, InitMTX):
+            return None, self.system.init_mtx(tid, op.handler)
+        if isinstance(op, Output):
+            self.system.output(tid, op.value)
+            return None, 1
+        raise TypeError(f"CoreExecutor cannot execute {op!r}")
+
+    def _execute_branch(self, tid: int, op: Branch) -> int:
+        predictor = self.predictor(tid)
+        self.stats.branches += op.count
+        self.stats.instructions += (op.count - 1) + op.work_cycles
+        latency = op.work_cycles + op.count * self.costs.branch
+        for n in range(op.count):
+            pc = self._pc[tid] + 4 * n
+            if not predictor.predict(pc, op.taken):
+                continue
+            self.stats.mispredicts += 1
+            latency += self.costs.branch_mispredict_penalty
+            # Wrong-path loads execute before the squash; their cache
+            # effects are real but their latency hides under the redirect
+            # penalty.
+            for addr in op.wrong_path_loads:
+                self.system.wrong_path_load(tid, addr)
+        return latency

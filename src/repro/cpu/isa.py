@@ -1,0 +1,144 @@
+"""Instruction IR executed by the simulated cores.
+
+Workload programs are Python generators that *yield* these operations and
+receive load results back (coroutine style), which lets value-dependent
+control flow — pointer chasing, data-dependent branches — run against the
+simulated memory exactly as the real benchmarks do against DRAM.
+
+The MTX instructions mirror section 3.1 of the paper:
+
+* :class:`BeginMTX` — ``beginMTX(VID)``: set the per-thread VID register;
+  VID 0 returns to non-speculative execution *without* committing.
+* :class:`CommitMTX` — ``commitMTX(VID)``: atomically group-commit the MTX.
+* :class:`AbortMTX` — ``abortMTX(VID)``: software-triggered abort (e.g.
+  control-flow misspeculation detected in a later pipeline stage).
+* :class:`InitMTX` — ``initMTX(pc)``: register the recovery handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for all simulated operations."""
+
+
+@dataclass(frozen=True)
+class Load(Op):
+    """Load the word at ``addr``; the generator receives the value."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Store(Op):
+    """Store ``value`` to the word at ``addr``."""
+
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Work(Op):
+    """``cycles`` of pure computation (no memory traffic)."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class Branch(Op):
+    """A conditional branch (or a burst of them).
+
+    ``taken`` is the architecturally correct outcome; the core's branch
+    predictor guesses, and on a mispredict the pipeline executes
+    ``wrong_path_loads`` — loads whose squashing is exactly what the SLA
+    mechanism of section 5.1 must tolerate — before the penalty is paid and
+    the correct path resumes.
+
+    ``count`` folds a burst of ``count`` branches interleaved with
+    ``work_cycles`` cycles of straight-line compute into one op, so
+    branch-dense code regions keep the simulator's op count manageable
+    while the predictor still sees every branch.
+    """
+
+    taken: bool
+    wrong_path_loads: Tuple[int, ...] = field(default_factory=tuple)
+    count: int = 1
+    work_cycles: int = 0
+
+
+@dataclass(frozen=True)
+class BeginMTX(Op):
+    """``beginMTX(VID)``; VID 0 resumes non-speculative execution."""
+
+    vid: int
+
+
+@dataclass(frozen=True)
+class CommitMTX(Op):
+    """``commitMTX(VID)``: atomic group commit of the whole MTX."""
+
+    vid: int
+
+
+@dataclass(frozen=True)
+class AbortMTX(Op):
+    """``abortMTX(VID)``: software-detected misspeculation."""
+
+    vid: int
+
+
+@dataclass(frozen=True)
+class InitMTX(Op):
+    """``initMTX(pc)``: register recovery code for this thread."""
+
+    handler: Any
+
+
+@dataclass(frozen=True)
+class Produce(Op):
+    """Enqueue ``value`` on inter-thread queue ``queue`` (DSWP plumbing)."""
+
+    queue: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class Consume(Op):
+    """Dequeue from ``queue``; blocks until a value is available."""
+
+    queue: str
+
+
+@dataclass(frozen=True)
+class Output(Op):
+    """Program output, buffered until commit (section 4.7)."""
+
+    value: Any
+
+
+@dataclass
+class OpCosts:
+    """Base cycle costs of non-memory operations (Table 2 machine).
+
+    Memory-op latency comes from the cache hierarchy; these are the
+    front-end costs layered on top.
+    """
+
+    work_unit: int = 1
+    branch: int = 1
+    branch_mispredict_penalty: int = 14
+    mtx_instruction: int = 2
+    queue_op: int = 4
+
+
+def format_trace(ops: List[Op], limit: Optional[int] = 20) -> str:
+    """Pretty-print an op list (debugging/teaching aid)."""
+    shown = ops if limit is None else ops[:limit]
+    lines = [f"  {i:4d}: {op!r}" for i, op in enumerate(shown)]
+    if limit is not None and len(ops) > limit:
+        lines.append(f"  ... ({len(ops) - limit} more)")
+    return "\n".join(lines)

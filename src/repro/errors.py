@@ -1,0 +1,46 @@
+"""Exception types shared across the HMTX reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class MisspeculationError(ReproError):
+    """A data-dependence violation (or explicit abort) was detected.
+
+    Carries enough context for the runtime's recovery code (the handler
+    registered with ``initMTX``) to report and restart: the VID of the
+    offending access, the address involved, and a human-readable reason.
+    """
+
+    def __init__(self, reason: str, vid: int = 0, addr: int = -1) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.vid = vid
+        self.addr = addr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MisspeculationError(vid={self.vid}, addr=0x{self.addr:x}, {self.reason!r})"
+
+
+class SpeculativeOverflowError(MisspeculationError):
+    """A speculative line that may not leave the cache hierarchy was evicted.
+
+    Section 5.4: only ``S-O`` versions with ``modVID == 0`` may overflow to
+    main memory; selecting any other speculative version as an LLC victim
+    forces an abort.
+    """
+
+
+class ProtocolError(ReproError):
+    """An internal invariant of the coherence protocol was violated.
+
+    These indicate simulator bugs (e.g. two versions hitting one VID), not
+    program misspeculation, and are never caught by recovery code.
+    """
+
+
+class TransactionUsageError(ReproError):
+    """The HMTX ISA was used incorrectly (e.g. out-of-order commit)."""

@@ -1,0 +1,54 @@
+"""Experiment drivers: regenerate every table and figure of the evaluation.
+
+============  =====================================  =====================
+artifact      driver                                 bench target
+============  =====================================  =====================
+Figure 1      :func:`run_fig1` / :func:`format_fig1`  benchmarks/test_fig1
+Figure 2      :func:`run_fig2` / :func:`format_fig2`  benchmarks/test_fig2
+Figure 5      :func:`run_fig5` / :func:`format_fig5`  tests/core/test_fig5
+Figure 8      :func:`run_fig8` / :func:`format_fig8`  benchmarks/test_fig8
+Figure 9      :func:`run_fig9` / :func:`format_fig9`  benchmarks/test_fig9
+Table 1       :func:`run_table1` / ``format_table1``  benchmarks/test_table1
+Table 3       :func:`run_table3` / ``format_table3``  benchmarks/test_table3
+============  =====================================  =====================
+"""
+
+from .fig1_timing import Fig1Result, format_fig1, run_fig1
+from .fig2_smtx_rwset import Fig2Result, format_fig2, run_fig2
+from .fig5_walkthrough import WalkStep, format_fig5, run_fig5
+from .fig8_speedup import Fig8Result, format_fig8, run_fig8
+from .fig9_setsizes import Fig9Result, format_fig9, run_fig9
+from .reporting import BenchmarkRunner, format_table, geomean
+from .statsdump import collect_stats, format_stats, stats_report
+from .table1_stats import Table1Result, format_table1, run_table1
+from .table3_power import Table3Result, format_table3, run_table3
+
+__all__ = [
+    "BenchmarkRunner",
+    "Fig1Result",
+    "Fig2Result",
+    "Fig8Result",
+    "Fig9Result",
+    "Table1Result",
+    "Table3Result",
+    "WalkStep",
+    "format_fig1",
+    "format_fig2",
+    "format_fig5",
+    "format_fig8",
+    "format_fig9",
+    "format_table",
+    "collect_stats",
+    "format_stats",
+    "stats_report",
+    "format_table1",
+    "format_table3",
+    "geomean",
+    "run_fig1",
+    "run_fig2",
+    "run_fig5",
+    "run_fig8",
+    "run_fig9",
+    "run_table1",
+    "run_table3",
+]

@@ -1,0 +1,113 @@
+"""Shared helpers for the experiment drivers: runs, tables, geomeans."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.config import MachineConfig
+from ..runtime.paradigms import ParadigmResult, run_sequential, run_workload
+from ..smtx import ValidationMode, run_smtx
+from ..workloads import Workload, executor_factory_for, make_benchmark
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Plain-text table (all experiment drivers print through this)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class BenchmarkRunner:
+    """Runs benchmark models under each system, caching per-config results.
+
+    One Figure 8 sweep needs sequential + HMTX + SMTX runs of the same
+    benchmark; Table 1, Figure 9 and Table 3 reuse those runs, so the
+    drivers share a runner.
+    """
+
+    def __init__(self, scale: float = 1.0,
+                 config: Optional[MachineConfig] = None) -> None:
+        self.scale = scale
+        self.config = config
+        self._cache: Dict[tuple, ParadigmResult] = {}
+        self._workloads: Dict[tuple, Workload] = {}
+
+    def _fresh(self, name: str) -> Workload:
+        return make_benchmark(name, self.scale)
+
+    def workload(self, name: str, system: str) -> Workload:
+        """The workload instance used for the cached (name, system) run."""
+        return self._workloads[(name, system)]
+
+    def sequential(self, name: str) -> ParadigmResult:
+        return self._run(name, "sequential")
+
+    def hmtx(self, name: str, sla_enabled: bool = True) -> ParadigmResult:
+        key = "hmtx" if sla_enabled else "hmtx-nosla"
+        return self._run(name, key, sla_enabled=sla_enabled)
+
+    def smtx(self, name: str, mode: ValidationMode) -> ParadigmResult:
+        return self._run(name, f"smtx-{mode.value}", smtx_mode=mode)
+
+    def _run(self, name: str, system: str,
+             sla_enabled: bool = True,
+             smtx_mode: Optional[ValidationMode] = None) -> ParadigmResult:
+        key = (name, system)
+        if key in self._cache:
+            return self._cache[key]
+        workload = self._fresh(name)
+        executor_factory = executor_factory_for(workload)
+        if system == "sequential":
+            result = run_sequential(workload, self.config,
+                                    executor_factory=executor_factory)
+        elif smtx_mode is not None:
+            result = run_smtx(workload, self.config, mode=smtx_mode,
+                              executor_factory=executor_factory)
+        else:
+            result = run_workload(workload, self.config,
+                                  sla_enabled=sla_enabled,
+                                  executor_factory=executor_factory)
+        self._workloads[key] = workload
+        self._cache[key] = result
+        return result
+
+    def speedup(self, name: str, system: str,
+                smtx_mode: Optional[ValidationMode] = None) -> float:
+        """Hot-loop speedup of ``system`` over sequential for ``name``."""
+        seq = self.sequential(name)
+        if system == "hmtx":
+            other = self.hmtx(name)
+        elif system == "hmtx-nosla":
+            other = self.hmtx(name, sla_enabled=False)
+        elif system == "smtx":
+            other = self.smtx(name, smtx_mode or ValidationMode.MINIMAL)
+        else:
+            raise ValueError(f"unknown system {system!r}")
+        return seq.cycles / other.cycles
+
+    def verify(self, name: str, system: str) -> bool:
+        """Did the (name, system) run preserve sequential semantics?"""
+        workload = self._workloads[(name, system)]
+        result = self._cache[(name, system)]
+        expected = workload.expected_result(result.system)
+        observed = workload.observed_result(result.system)
+        return expected == observed

@@ -1,0 +1,23 @@
+"""McPAT/CACTI-style area, power, and energy model (Table 3)."""
+
+from .cacti import MBIT, SramEstimate, TechnologyNode, cache_arrays, sram_array
+from .mcpat import (
+    AreaBreakdown,
+    McPatModel,
+    PowerReport,
+    RunProfile,
+    profile_from_result,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "MBIT",
+    "McPatModel",
+    "PowerReport",
+    "RunProfile",
+    "SramEstimate",
+    "TechnologyNode",
+    "cache_arrays",
+    "profile_from_result",
+    "sram_array",
+]

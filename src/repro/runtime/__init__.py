@@ -1,0 +1,29 @@
+"""Parallel runtime: discrete-event scheduler, queues, execution paradigms."""
+
+from .paradigms import (
+    ParadigmResult,
+    run_doacross,
+    run_doall,
+    run_dswp,
+    run_ps_dswp,
+    run_sequential,
+    run_workload,
+)
+from .queues import QueueSet, TimedQueue
+from .scheduler import DeadlockError, RunResult, Scheduler, ThreadHandle
+
+__all__ = [
+    "DeadlockError",
+    "ParadigmResult",
+    "QueueSet",
+    "RunResult",
+    "Scheduler",
+    "ThreadHandle",
+    "TimedQueue",
+    "run_doacross",
+    "run_doall",
+    "run_dswp",
+    "run_ps_dswp",
+    "run_sequential",
+    "run_workload",
+]

@@ -1,0 +1,492 @@
+"""Parallel execution paradigms: Sequential, DOALL, DOACROSS, DSWP, PS-DSWP.
+
+These executors compose a workload's loop-body fragments with HMTX
+transaction management, reproducing the execution models of Figure 1:
+
+* **Sequential** — one thread, no speculation (the baseline).
+* **DOALL** — iterations run fully independently on k threads; each
+  iteration is a single-threaded transaction, committed in order (TLS).
+* **DOACROSS** — iterations round-robin across k threads; the loop-carried
+  value crosses cores *every iteration*, putting inter-core latency on the
+  critical path (Figure 1b).
+* **DSWP** — the body is split into two pipeline stages on two threads;
+  each iteration is a *multithreaded transaction* spanning both.  The
+  loop-carried dependence stays inside stage 1, so inter-core latency is
+  paid only at pipeline fill (Figure 1c).
+* **PS-DSWP** — DSWP whose second (iteration-independent) stage is
+  replicated across k-1 worker threads (Figure 1d).
+
+All speculative paradigms also implement the section 4.6 VID-overflow
+protocol (stall until the max VID commits, then reset) and abort recovery
+(restart from the last committed iteration, recomputing register state from
+committed memory).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from ..coherence.vid import VidExhaustedError
+from ..core.config import MachineConfig
+from ..core.system import HMTXSystem
+from ..cpu.core_model import CoreExecutor
+from ..cpu.interrupts import InterruptInjector
+from ..cpu.isa import BeginMTX, CommitMTX, Consume, Op, Produce, Work
+from ..errors import MisspeculationError, ReproError
+from ..workloads.base import Workload
+from .scheduler import RunResult, Scheduler
+
+Program = Generator[Op, Any, None]
+
+#: Cycles burnt per poll while stalled (VID exhaustion, commit ordering).
+_SPIN_COST = 4
+#: Upper bound on abort-recovery restarts before giving up.
+_MAX_RECOVERIES = 64
+#: How many uncommitted transactions one worker keeps open at once (the
+#: paper allows many per core; bounding it caps VID-window and cache-set
+#: version pressure, like the bounded DSWP queues).
+_MAX_OPEN_TX_PER_CORE = 4
+#: Consecutive no-progress recoveries before degrading to serial mode.
+_SERIAL_FALLBACK_AFTER = 2
+#: System-wide cap on live (begun, uncommitted) transactions.  Every live
+#: transaction can pin one version of a hot forwarded line (Figure 3's
+#: ``producedNode``) in a single cache set; with an 8-way L1 over a 32-way
+#: L2, more than ~24 live versions of one line cannot all stay cached and
+#: eviction past the LLC aborts (section 5.4).  Real deployments impose the
+#: same throttle through bounded queues and finite VID windows.
+_MAX_LIVE_TRANSACTIONS = 20
+
+
+@dataclass
+class ParadigmResult:
+    """Outcome of one parallelised hot-loop run."""
+
+    workload: str
+    paradigm: str
+    cycles: int
+    system: HMTXSystem
+    run: RunResult
+    recoveries: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> int:
+        return self.system.stats.committed
+
+
+def _fresh_system(config: Optional[MachineConfig], sla_enabled: bool) -> HMTXSystem:
+    return HMTXSystem(config=config, sla_enabled=sla_enabled)
+
+
+def _make_scheduler(system: HMTXSystem,
+                    interrupts: Optional[InterruptInjector],
+                    executor_factory: Optional[Callable[[HMTXSystem], CoreExecutor]],
+                    ) -> Scheduler:
+    executor = executor_factory(system) if executor_factory else None
+    return Scheduler(system, executor=executor, interrupts=interrupts)
+
+
+# ----------------------------------------------------------------------
+# Sequential
+# ----------------------------------------------------------------------
+
+def run_sequential(workload: Workload, config: Optional[MachineConfig] = None,
+                   interrupts: Optional[InterruptInjector] = None,
+                   executor_factory: Optional[Callable[[HMTXSystem], CoreExecutor]] = None,
+                   system_factory: Optional[Callable[[], HMTXSystem]] = None,
+                   ) -> ParadigmResult:
+    """Run the hot loop on one core without speculation (the baseline)."""
+    system = system_factory() if system_factory else _fresh_system(config, sla_enabled=True)
+    workload.setup(system)
+
+    def program() -> Program:
+        carry = workload.initial_carry(system)
+        for i in range(workload.iterations):
+            carry = yield from workload.sequential_iteration(i, carry)
+
+    scheduler = _make_scheduler(system, interrupts, executor_factory)
+    scheduler.add_thread(0, core=0, program=program())
+    run = scheduler.run()
+    result = ParadigmResult(workload.name, "Sequential", run.makespan, system, run)
+    result.extra["exec_stats"] = scheduler.executor.stats
+    return result
+
+
+# ----------------------------------------------------------------------
+# Shared speculative-paradigm plumbing
+# ----------------------------------------------------------------------
+
+def _allocate_vid_with_stall(system: HMTXSystem) -> Program:
+    """Allocate the next VID, spinning through the 4.6 overflow protocol.
+
+    Yields stall ops while the VID space is exhausted; performs the VID
+    reset once every outstanding transaction has committed.  The generator's
+    return value is the fresh VID.
+    """
+    while True:
+        try:
+            return system.allocate_vid()
+        except VidExhaustedError:
+            if system.ready_for_vid_reset():
+                yield Work(system.vid_reset())
+            else:
+                yield Work(_SPIN_COST)
+
+
+def _wait_for_epoch(system: HMTXSystem, epoch: int) -> Program:
+    """Block until the VID space has been recycled ``epoch`` times.
+
+    Used by the statically-VID-mapped paradigms (DOALL/DOACROSS): epoch ``e``
+    may start only after all ``max_vid`` transactions of epoch ``e - 1``
+    committed and one thread performed the reset.
+    """
+    max_vid = system.vid_space.max_vid
+    while system.vid_space.resets < epoch:
+        done_epochs = system.vid_space.resets + 1
+        if system.stats.committed >= done_epochs * max_vid \
+                and not system.active_vids:
+            yield Work(system.vid_reset())
+        else:
+            yield Work(_SPIN_COST)
+
+
+def _wait_commit_turn(system: HMTXSystem, vid: int) -> Program:
+    """Spin until ``vid - 1`` has committed (in-order commit contract)."""
+    while system.last_committed != vid - 1:
+        yield Work(_SPIN_COST)
+
+
+def _run_with_recovery(scheduler: Scheduler, system: HMTXSystem,
+                       rebuild: Callable[..., Dict[int, Program]]
+                       ) -> Tuple[int, bool]:
+    """Drive the scheduler, restarting from committed state on aborts.
+
+    ``rebuild(serial=...)`` must produce fresh per-thread programs resuming
+    at iteration ``system.stats.committed`` (the abort already rolled all
+    speculative memory back to the last committed state).
+
+    When aborts repeat without forward progress — a misspeculation that
+    recurs deterministically under the same interleaving — the runtime
+    **degrades to serial execution**: one transaction in flight at a time,
+    which makes conflicts (and, without SLAs, wrong-path false aborts)
+    impossible and guarantees progress at roughly sequential speed.  Real
+    speculative runtimes employ the same retry-then-serialise policy.
+
+    Returns ``(recoveries, degraded_to_serial)``.
+    """
+    recoveries = 0
+    no_progress = 0
+    last_committed = system.stats.committed
+    serial = False
+    while True:
+        try:
+            scheduler.run()
+            return recoveries, serial
+        except MisspeculationError:
+            recoveries += 1
+            if recoveries > _MAX_RECOVERIES:
+                raise ReproError("abort livelock: too many recoveries")
+            if system.stats.committed > last_committed:
+                no_progress = 0
+            else:
+                no_progress += 1
+                if no_progress >= _SERIAL_FALLBACK_AFTER:
+                    serial = True
+            last_committed = system.stats.committed
+            scheduler.queues.clear_all()
+            scheduler.replace_programs(rebuild(serial=serial))
+
+
+def _result(workload: Workload, paradigm: str, system: HMTXSystem,
+            scheduler: Scheduler, recoveries: int,
+            degraded: bool = False) -> ParadigmResult:
+    thread_clocks = {t.tid: t.clock for t in scheduler.threads}
+    cycles = max(thread_clocks.values())
+    run = RunResult(cycles, thread_clocks, {},
+                    sum(t.ops_executed for t in scheduler.threads))
+    result = ParadigmResult(workload.name, paradigm, cycles, system, run,
+                            recoveries)
+    result.extra["exec_stats"] = scheduler.executor.stats
+    result.extra["degraded_serial"] = degraded
+    return result
+
+
+# ----------------------------------------------------------------------
+# DOALL (TLS-style: one single-threaded transaction per iteration)
+# ----------------------------------------------------------------------
+
+def run_doall(workload: Workload, config: Optional[MachineConfig] = None,
+              workers: Optional[int] = None,
+              interrupts: Optional[InterruptInjector] = None,
+              sla_enabled: bool = True,
+              executor_factory: Optional[Callable[[HMTXSystem], CoreExecutor]] = None,
+              system_factory: Optional[Callable[[], HMTXSystem]] = None,
+              ) -> ParadigmResult:
+    """Speculative DOALL: iteration ``i`` runs on thread ``i % workers``.
+
+    VIDs are assigned statically in iteration order
+    (``vid = i % max_vid + 1``); commits are made in order by spinning on
+    the commit turn, and epochs recycle the VID space.
+    """
+    system = system_factory() if system_factory else _fresh_system(config, sla_enabled)
+    workload.setup(system)
+    workers = workers or system.config.num_cores
+    max_vid = system.vid_space.max_vid
+
+    def worker(widx: int, start: int, serial: bool) -> Program:
+        # Run iteration bodies eagerly (several uncommitted transactions
+        # may live on one core); epilogue + commit happen in VID order.
+        # In serial (degraded) mode each body waits for its commit turn
+        # before starting, so only one transaction is ever in flight.
+        pending = deque()
+        todo = [i for i in range(start, workload.iterations)
+                if i % workers == widx]
+        cursor = 0
+        while cursor < len(todo) or pending:
+            if pending and system.last_committed == pending[0][1] - 1:
+                i, vid = pending.popleft()
+                yield BeginMTX(vid)
+                yield from workload.stage2_epilogue(i)
+                yield CommitMTX(vid)
+                continue
+            if cursor < len(todo) and len(pending) < _MAX_OPEN_TX_PER_CORE:
+                i = todo[cursor]
+                epoch, vid0 = divmod(i, max_vid)
+                vid = vid0 + 1
+                if system.vid_space.resets < epoch and pending:
+                    # Cannot cross an epoch boundary with open transactions.
+                    yield Work(_SPIN_COST)
+                    continue
+                yield from _wait_for_epoch(system, epoch)
+                if serial:
+                    yield from _wait_commit_turn(system, vid)
+                yield BeginMTX(vid)
+                yield from workload.doall_iteration(i)
+                yield BeginMTX(0)
+                pending.append((i, vid))
+                cursor += 1
+                continue
+            yield Work(_SPIN_COST)
+
+    def build(start: int = 0, serial: bool = False) -> Dict[int, Program]:
+        return {w: worker(w, start, serial) for w in range(workers)}
+
+    scheduler = _make_scheduler(system, interrupts, executor_factory)
+    for w, program in build().items():
+        scheduler.add_thread(w, core=w % system.config.num_cores, program=program)
+    recoveries, degraded = _run_with_recovery(
+        scheduler, system,
+        lambda serial=False: build(system.stats.committed, serial))
+    return _result(workload, "DOALL", system, scheduler, recoveries,
+                   degraded)
+
+
+# ----------------------------------------------------------------------
+# DOACROSS
+# ----------------------------------------------------------------------
+
+def run_doacross(workload: Workload, config: Optional[MachineConfig] = None,
+                 workers: Optional[int] = None,
+                 interrupts: Optional[InterruptInjector] = None,
+                 sla_enabled: bool = True,
+                 executor_factory: Optional[Callable[[HMTXSystem], CoreExecutor]] = None,
+                 system_factory: Optional[Callable[[], HMTXSystem]] = None,
+                 ) -> ParadigmResult:
+    """Speculative DOACROSS: the carry crosses cores every iteration.
+
+    Thread ``i % workers`` runs the *whole* body of iteration ``i``,
+    receiving the loop-carried register state from the previous iteration's
+    thread through a timed queue — inter-core latency lands on every
+    iteration's critical path (Figure 1b, section 2.1).
+    """
+    system = system_factory() if system_factory else _fresh_system(config, sla_enabled)
+    workload.setup(system)
+    workers = workers or system.config.num_cores
+    max_vid = system.vid_space.max_vid
+
+    def carry_queue(iteration: int) -> str:
+        return f"carry[{iteration % workers}]"
+
+    def worker(widx: int, start: int, serial: bool) -> Program:
+        first = start + (widx - start) % workers
+        for i in range(first, workload.iterations, workers):
+            if i == start:
+                carry = (workload.recover_carry(system, i) if start
+                         else workload.initial_carry(system))
+            else:
+                carry = yield Consume(carry_queue(i))
+            epoch, vid0 = divmod(i, max_vid)
+            vid = vid0 + 1
+            yield from _wait_for_epoch(system, epoch)
+            if serial:
+                yield from _wait_commit_turn(system, vid)
+            yield BeginMTX(vid)
+            carry = yield from workload.sequential_iteration(i, carry)
+            yield BeginMTX(0)
+            if i + 1 < workload.iterations:
+                yield Produce(carry_queue(i + 1), carry)
+            yield from _wait_commit_turn(system, vid)
+            yield CommitMTX(vid)
+
+    def build(start: int = 0, serial: bool = False) -> Dict[int, Program]:
+        return {w: worker(w, start, serial) for w in range(workers)}
+
+    scheduler = _make_scheduler(system, interrupts, executor_factory)
+    for w, program in build().items():
+        scheduler.add_thread(w, core=w % system.config.num_cores, program=program)
+    recoveries, degraded = _run_with_recovery(
+        scheduler, system,
+        lambda serial=False: build(system.stats.committed, serial))
+    return _result(workload, "DOACROSS", system, scheduler, recoveries,
+                   degraded)
+
+
+# ----------------------------------------------------------------------
+# DSWP / PS-DSWP (multithreaded transactions)
+# ----------------------------------------------------------------------
+
+def run_ps_dswp(workload: Workload, config: Optional[MachineConfig] = None,
+                stage2_workers: Optional[int] = None,
+                interrupts: Optional[InterruptInjector] = None,
+                sla_enabled: bool = True,
+                executor_factory: Optional[Callable[[HMTXSystem], CoreExecutor]] = None,
+                system_factory: Optional[Callable[[], HMTXSystem]] = None,
+                inline_commit: Optional[bool] = None,
+                ) -> ParadigmResult:
+    """Speculative (PS-)DSWP over multithreaded transactions (Figure 3).
+
+    Pipeline structure on N cores:
+
+    * **stage 1** (1 thread) chases the loop-carried dependence, opening a
+      new MTX per iteration and forwarding only the VID through a bounded
+      queue; data flows to stage 2 through versioned memory (uncommitted
+      value forwarding).
+    * **stage 2** (``stage2_workers`` threads) runs the parallel bodies.
+      Workers free-run: a core may hold several uncommitted transactions
+      at once (the paper's second headline feature) — nobody stalls for a
+      commit turn.
+    * **stage 3** (1 thread) re-sequences completions, runs each
+      iteration's ordered epilogue (in-order output emission) and issues
+      the atomic group commit — the sequential tail stage of real DSWP
+      pipelines.
+
+    With ``stage2_workers == 1`` (or ``inline_commit=True``) workers run
+    the epilogue + commit themselves once their commit turn arrives,
+    instead of handing off to a stage-3 thread.
+    """
+    system = system_factory() if system_factory else _fresh_system(config, sla_enabled)
+    workload.setup(system)
+    num_cores = system.config.num_cores
+    if stage2_workers is None:
+        stage2_workers = max(1, num_cores - 2)
+    inline_commit = stage2_workers == 1
+    paradigm = "DSWP" if inline_commit else "PS-DSWP"
+
+    VID_QUEUE = "vids"
+    DONE_QUEUE = "done"
+
+    def stage1(start_iter: int, serial: bool) -> Program:
+        carry = (workload.recover_carry(system, start_iter) if start_iter
+                 else workload.initial_carry(system))
+        window = 1 if serial else _MAX_LIVE_TRANSACTIONS
+        for i in range(start_iter, workload.iterations):
+            while len(system.active_vids) >= window:
+                yield Work(_SPIN_COST)
+            vid = yield from _allocate_vid_with_stall(system)
+            yield BeginMTX(vid)
+            carry = yield from workload.stage1_iteration(i, carry)
+            yield BeginMTX(0)
+            yield Produce(VID_QUEUE, (i, vid))
+        for _ in range(stage2_workers):
+            yield Produce(VID_QUEUE, None)
+
+    def stage2(widx: int) -> Program:
+        while True:
+            token = yield Consume(VID_QUEUE)
+            if token is None:
+                if inline_commit:
+                    return
+                yield Produce(DONE_QUEUE, None)
+                return
+            i, vid = token
+            yield BeginMTX(vid)
+            yield from workload.stage2_iteration(i)
+            if inline_commit:
+                yield from _wait_commit_turn(system, vid)
+                yield from workload.stage2_epilogue(i)
+                yield CommitMTX(vid)
+            else:
+                yield BeginMTX(0)
+                yield Produce(DONE_QUEUE, (i, vid))
+
+    def stage3(start_iter: int) -> Program:
+        # Reorder completions back into original program order, then run
+        # the ordered epilogue and group-commit each transaction.
+        buffered: Dict[int, int] = {}
+        sentinels = 0
+        for i in range(start_iter, workload.iterations):
+            while i not in buffered:
+                token = yield Consume(DONE_QUEUE)
+                if token is None:
+                    sentinels += 1
+                    continue
+                buffered[token[0]] = token[1]
+            vid = buffered.pop(i)
+            yield BeginMTX(vid)
+            yield from workload.stage2_epilogue(i)
+            yield CommitMTX(vid)
+        while sentinels < stage2_workers:
+            token = yield Consume(DONE_QUEUE)
+            if token is None:
+                sentinels += 1
+
+    def build(start_iter: int = 0, serial: bool = False) -> Dict[int, Program]:
+        programs: Dict[int, Program] = {0: stage1(start_iter, serial)}
+        for w in range(stage2_workers):
+            programs[w + 1] = stage2(w)
+        if not inline_commit:
+            programs[stage2_workers + 1] = stage3(start_iter)
+        return programs
+
+    scheduler = _make_scheduler(system, interrupts, executor_factory)
+    for tid, program in build().items():
+        scheduler.add_thread(tid, core=tid % num_cores, program=program)
+    recoveries, degraded = _run_with_recovery(
+        scheduler, system,
+        lambda serial=False: build(system.stats.committed, serial))
+    return _result(workload, paradigm, system, scheduler, recoveries,
+                   degraded)
+
+
+def run_dswp(workload: Workload, config: Optional[MachineConfig] = None,
+             **kwargs) -> ParadigmResult:
+    """Two-thread DSWP (Figure 1c): PS-DSWP with a single stage-2 worker."""
+    return run_ps_dswp(workload, config, stage2_workers=1, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+_PARADIGMS: Dict[str, Callable[..., ParadigmResult]] = {
+    "Sequential": run_sequential,
+    "DOALL": run_doall,
+    "DOACROSS": run_doacross,
+    "DSWP": run_dswp,
+    "PS-DSWP": run_ps_dswp,
+}
+
+
+def run_workload(workload: Workload, config: Optional[MachineConfig] = None,
+                 paradigm: Optional[str] = None, **kwargs) -> ParadigmResult:
+    """Run ``workload`` under ``paradigm`` (default: its Table 1 paradigm)."""
+    name = paradigm or workload.paradigm
+    if name not in _PARADIGMS:
+        raise ValueError(f"unknown paradigm {name!r}; "
+                         f"choose from {sorted(_PARADIGMS)}")
+    runner = _PARADIGMS[name]
+    if name == "Sequential":
+        kwargs.pop("sla_enabled", None)
+    return runner(workload, config, **kwargs)

@@ -1,0 +1,202 @@
+"""Conservative discrete-event scheduler for the simulated multicore.
+
+Threads are Python generators yielding :mod:`repro.cpu.isa` ops.  The
+scheduler always advances the runnable thread with the smallest clock, so
+memory operations reach the coherence protocol in (approximate) global time
+order — the property the conflict-detection logic relies on.
+
+Timing model:
+
+* each core serialises the ops of the threads placed on it (no SMT);
+* ``Produce``/``Consume`` go through :class:`~repro.runtime.queues.TimedQueue`
+  with a one-way inter-core latency;
+* a consumer blocking on an empty queue releases its core and resumes at
+  ``max(own clock, producer clock + queue latency)``;
+* an optional :class:`~repro.cpu.interrupts.InterruptInjector` charges
+  handler time to whichever thread crossed the interrupt period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from ..cpu.core_model import CoreExecutor
+from ..cpu.interrupts import InterruptInjector
+from ..cpu.isa import Consume, Op, Produce
+from ..errors import ReproError
+from .queues import QueueSet
+
+Program = Generator[Op, Any, None]
+
+
+class DeadlockError(ReproError):
+    """Every live thread is blocked on an empty queue."""
+
+
+@dataclass
+class ThreadHandle:
+    tid: int
+    core: int
+    program: Program
+    clock: int = 0
+    done: bool = False
+    #: Queue this thread is blocked consuming from (empty queue).
+    blocked_on: Optional[str] = None
+    #: (queue, value) this thread is blocked producing into (full queue).
+    blocked_produce: Optional[tuple] = None
+    #: Value to send into the generator at the next step.
+    pending_value: Any = None
+    ops_executed: int = 0
+
+
+@dataclass
+class RunResult:
+    """Timing outcome of one scheduled run."""
+
+    makespan: int
+    thread_clocks: Dict[int, int]
+    core_clocks: Dict[int, int]
+    ops_executed: int
+
+    @property
+    def cycles(self) -> int:
+        return self.makespan
+
+
+class Scheduler:
+    """Runs a set of thread programs to completion on the simulated machine."""
+
+    def __init__(self, system, executor: Optional[CoreExecutor] = None,
+                 queues: Optional[QueueSet] = None,
+                 interrupts: Optional[InterruptInjector] = None,
+                 max_steps: int = 50_000_000) -> None:
+        self.system = system
+        self.executor = executor or CoreExecutor(system)
+        self.queues = queues or QueueSet(latency=system.config.queue_latency)
+        self.interrupts = interrupts
+        self.max_steps = max_steps
+        self.threads: List[ThreadHandle] = []
+        self._core_clock: Dict[int, int] = {}
+
+    def add_thread(self, tid: int, core: int, program: Program,
+                   start_clock: int = 0) -> ThreadHandle:
+        """Register a thread; also registers its HMTX context."""
+        self.system.thread(tid, core)
+        handle = ThreadHandle(tid=tid, core=core, program=program,
+                              clock=start_clock)
+        self.threads.append(handle)
+        self._core_clock.setdefault(core, 0)
+        return handle
+
+    def replace_programs(self, programs: Dict[int, Program]) -> None:
+        """Swap in fresh generators (abort recovery), keeping clocks."""
+        for thread in self.threads:
+            if thread.tid in programs:
+                thread.program = programs[thread.tid]
+                thread.done = False
+                thread.blocked_on = None
+                thread.blocked_produce = None
+                thread.pending_value = None
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run until every thread's generator is exhausted.
+
+        Raises :class:`~repro.errors.MisspeculationError` if speculation
+        fails (callers implement recovery) and :class:`DeadlockError` if all
+        live threads block on empty queues.
+        """
+        steps = 0
+        while True:
+            runnable = self._collect_runnable()
+            if runnable is None:
+                break
+            if not runnable:
+                live = [t.tid for t in self.threads if not t.done]
+                raise DeadlockError(f"threads {live} all blocked on queues")
+            thread = min(runnable, key=lambda t: (t.clock, t.tid))
+            self._step(thread)
+            steps += 1
+            if steps > self.max_steps:
+                raise ReproError(f"exceeded {self.max_steps} scheduler steps")
+        thread_clocks = {t.tid: t.clock for t in self.threads}
+        return RunResult(
+            makespan=max(thread_clocks.values(), default=0),
+            thread_clocks=thread_clocks,
+            core_clocks=dict(self._core_clock),
+            ops_executed=sum(t.ops_executed for t in self.threads),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _collect_runnable(self) -> Optional[List[ThreadHandle]]:
+        """Unblock consumers whose queues filled; None when all are done."""
+        live = [t for t in self.threads if not t.done]
+        if not live:
+            return None
+        runnable = []
+        for thread in live:
+            if thread.blocked_on is not None:
+                entry = self.queues.get(thread.blocked_on).try_consume(thread.clock)
+                if entry is None:
+                    continue
+                value, ready_time = entry
+                thread.clock = max(thread.clock, ready_time)
+                thread.clock += self.system.config.op_costs.queue_op
+                thread.pending_value = value
+                thread.blocked_on = None
+            elif thread.blocked_produce is not None:
+                queue_name, value = thread.blocked_produce
+                queue = self.queues.get(queue_name)
+                if queue.full():
+                    continue
+                # Space appeared when a consumer popped; the producer's
+                # clock advances to that moment (back-pressure stall).
+                thread.clock = max(thread.clock, queue.last_pop_time)
+                thread.clock += self.system.config.op_costs.queue_op
+                queue.produce(value, thread.clock)
+                thread.blocked_produce = None
+            runnable.append(thread)
+        return runnable
+
+    def _step(self, thread: ThreadHandle) -> None:
+        try:
+            op = thread.program.send(thread.pending_value)
+        except StopIteration:
+            thread.done = True
+            return
+        thread.pending_value = None
+        thread.ops_executed += 1
+        costs = self.system.config.op_costs
+        if isinstance(op, Produce):
+            queue = self.queues.get(op.queue)
+            if queue.full():
+                thread.blocked_produce = (op.queue, op.value)
+                return
+            start = max(thread.clock, self._core_clock[thread.core])
+            thread.clock = start + costs.queue_op
+            self._core_clock[thread.core] = thread.clock
+            queue.produce(op.value, thread.clock)
+            return
+        if isinstance(op, Consume):
+            entry = self.queues.get(op.queue).try_consume(thread.clock)
+            if entry is None:
+                thread.blocked_on = op.queue
+                return
+            value, ready_time = entry
+            start = max(thread.clock, self._core_clock[thread.core], ready_time)
+            thread.clock = start + costs.queue_op
+            self._core_clock[thread.core] = thread.clock
+            thread.pending_value = value
+            return
+        start = max(thread.clock, self._core_clock[thread.core])
+        value, latency = self.executor.execute(thread.tid, op, now=start)
+        clock = start + latency
+        if self.interrupts is not None:
+            clock += self.interrupts.maybe_interrupt(
+                self.system, thread.tid, thread.core, clock)
+        thread.clock = clock
+        self._core_clock[thread.core] = clock
+        thread.pending_value = value

@@ -1,0 +1,17 @@
+"""SMTX: the software multithreaded-transaction baseline (Raman et al.)."""
+
+from .costs import SmtxCosts, ValidationMode
+from .memory import SmtxMemory, ValidationLog
+from .runtime import run_smtx, smtx_whole_program_speedup, validation_predicate_for
+from .system import SMTXSystem
+
+__all__ = [
+    "SMTXSystem",
+    "SmtxCosts",
+    "SmtxMemory",
+    "ValidationLog",
+    "ValidationMode",
+    "run_smtx",
+    "smtx_whole_program_speedup",
+    "validation_predicate_for",
+]

@@ -1,0 +1,63 @@
+"""Cost model and validation policies for the SMTX baseline.
+
+SMTX (Raman et al. [29]) is a process-based software MTX system: the main
+(*commit*) process holds committed state; workers execute transactions
+against copy-on-write memory images.  Two kinds of explicit communication
+dominate its overhead (section 2.3):
+
+* **speculation validation** — every access in the read/write set is logged
+  and shipped to the commit process, which re-checks reads and applies
+  writes *sequentially*;
+* **uncommitted value forwarding** — values crossing pipeline stages travel
+  through software queues.
+
+The per-entry costs below are in cycles on the Table 2 machine.  They are
+calibrated to the published outcome, not measured from the original
+runtime: with minimal read/write sets SMTX reaches ~1.4x geomean on 4 cores
+(Figure 8), while validating every access turns speedup into slowdown
+(Figure 2).  The *shape* — a sequential commit process whose work grows
+linearly with set size — is the faithful part.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ValidationMode(enum.Enum):
+    """How much of a transaction's accesses enter the validation sets.
+
+    ``MINIMAL``
+        Only accesses an expert programmer proved must be validated (the
+        cross-stage forwarding slots).  This is the laborious manual
+        transformation the paper argues against relying on.
+    ``SUBSTANTIAL``
+        All accesses to shared data structures (Figure 2's second
+        configuration: what a compiler with decent — not heroic — analysis
+        could prove private stays unvalidated).
+    ``MAXIMAL``
+        Every load and store inside the transaction (what HMTX is evaluated
+        with, and what automatic parallelisation realistically needs).
+    """
+
+    MINIMAL = "minimal"
+    SUBSTANTIAL = "substantial"
+    MAXIMAL = "maximal"
+
+
+@dataclass
+class SmtxCosts:
+    """Per-operation software overheads (cycles)."""
+
+    #: Shim around every speculative access (COW fault amortisation, TM API).
+    instrument_read: int = 6
+    instrument_write: int = 6
+    #: Worker side: build a validation entry and enqueue it.
+    log_entry: int = 24
+    #: Commit process: dequeue an entry, compare a read / apply a write.
+    validate_entry: int = 55
+    #: Per-word uncommitted value forwarding between pipeline stages.
+    forward_entry: int = 30
+    #: Per-transaction commit handshake with the commit process.
+    commit_finalize: int = 180

@@ -1,0 +1,12 @@
+"""Protocol tracing and trace rendering (debugging/teaching tooling)."""
+
+from .events import ProtocolTracer, TraceEvent
+from .format import format_address_history, format_summary, format_trace
+
+__all__ = [
+    "ProtocolTracer",
+    "TraceEvent",
+    "format_address_history",
+    "format_summary",
+    "format_trace",
+]

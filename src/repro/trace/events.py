@@ -1,0 +1,177 @@
+"""Protocol event tracing.
+
+A :class:`ProtocolTracer` attaches to a :class:`~repro.coherence.hierarchy.
+MemoryHierarchy` and records the protocol-level story of an execution:
+accesses with the version they hit, version creations (the Figure 4 copy
+arcs), commits, aborts, overflow spills, and misspeculations.  The trace is
+what Figure 5 is for one address, for a whole run — invaluable both for
+debugging workloads and for teaching the protocol.
+
+Tracing is implemented with method wrapping rather than hooks baked into
+the hierarchy's hot paths, so untraced runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..coherence.hierarchy import MemoryHierarchy
+from ..errors import MisspeculationError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One protocol-level event."""
+
+    seq: int
+    kind: str          # load/store/commit/abort/misspeculation/...
+    core: Optional[int] = None
+    vid: Optional[int] = None
+    addr: Optional[int] = None
+    detail: str = ""
+
+    def render(self) -> str:
+        parts = [f"{self.seq:>6}", self.kind.ljust(14)]
+        if self.core is not None:
+            parts.append(f"core{self.core}")
+        if self.vid is not None:
+            parts.append(f"vid={self.vid}")
+        if self.addr is not None:
+            parts.append(f"addr=0x{self.addr:x}")
+        if self.detail:
+            parts.append(self.detail)
+        return " ".join(parts)
+
+
+class ProtocolTracer:
+    """Records the protocol events of one hierarchy.
+
+    Usage::
+
+        tracer = ProtocolTracer.attach(system.hierarchy)
+        ... run ...
+        print(format_trace(tracer.events))
+        tracer.detach()
+
+    Filters: pass ``addresses={...}`` to trace only specific lines (line
+    addresses), or leave None to trace everything.
+    """
+
+    def __init__(self, hierarchy: MemoryHierarchy,
+                 addresses: Optional[set] = None,
+                 capacity: int = 100_000) -> None:
+        self.hierarchy = hierarchy
+        self.addresses = addresses
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._seq = 0
+        self._originals: Dict[str, Callable] = {}
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, hierarchy: MemoryHierarchy,
+               addresses: Optional[set] = None) -> "ProtocolTracer":
+        tracer = cls(hierarchy, addresses=addresses)
+        tracer._wrap_all()
+        return tracer
+
+    def detach(self) -> None:
+        """Restore the hierarchy's unwrapped methods."""
+        for name, original in self._originals.items():
+            setattr(self.hierarchy, name, original)
+        self._originals.clear()
+
+    # ------------------------------------------------------------------
+
+    def _line(self, addr: int) -> int:
+        return addr - (addr % self.hierarchy.config.line_size)
+
+    def _interesting(self, addr: Optional[int]) -> bool:
+        if addr is None or self.addresses is None:
+            return True
+        return self._line(addr) in self.addresses
+
+    def record(self, kind: str, core: Optional[int] = None,
+               vid: Optional[int] = None, addr: Optional[int] = None,
+               detail: str = "") -> None:
+        if not self._interesting(addr):
+            return
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._seq += 1
+        self.events.append(TraceEvent(self._seq, kind, core, vid, addr, detail))
+
+    # ------------------------------------------------------------------
+
+    def _wrap_all(self) -> None:
+        self._wrap_access("load")
+        self._wrap_access("store")
+        self._wrap_broadcast("commit", lambda vid: f"VID {vid}")
+        self._wrap_broadcast("abort", lambda: "all uncommitted state flushed")
+        self._wrap_broadcast("vid_reset", lambda: "VID namespace recycled")
+
+    def _wrap_access(self, name: str) -> None:
+        original = getattr(self.hierarchy, name)
+        self._originals[name] = original
+        tracer = self
+
+        @functools.wraps(original)
+        def wrapped(core, addr, vid, *args, **kwargs):
+            versions_before = len(tracer.hierarchy.versions_everywhere(addr)) \
+                if tracer._interesting(addr) else 0
+            try:
+                result = original(core, addr, vid, *args, **kwargs)
+            except MisspeculationError as err:
+                tracer.record("misspeculation", core, vid, addr,
+                              detail=err.reason)
+                raise
+            detail = f"hit={result.served_by}"
+            if result.created_version:
+                detail += " +version"
+            if result.sla_required:
+                detail += " sla"
+            tracer.record(name, core, vid, addr, detail=detail)
+            if tracer._interesting(addr):
+                after = len(tracer.hierarchy.versions_everywhere(addr))
+                if after != versions_before:
+                    tracer.record("versions", core, vid, addr,
+                                  detail=f"{versions_before} -> {after} cached")
+            return result
+
+        setattr(self.hierarchy, name, wrapped)
+
+    def _wrap_broadcast(self, name: str, describe: Callable[..., str]) -> None:
+        original = getattr(self.hierarchy, name)
+        self._originals[name] = original
+        tracer = self
+
+        @functools.wraps(original)
+        def wrapped(*args, **kwargs):
+            result = original(*args, **kwargs)
+            tracer.record(name, detail=describe(*args, **kwargs))
+            return result
+
+        setattr(self.hierarchy, name, wrapped)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_address(self, addr: int) -> List[TraceEvent]:
+        line = self._line(addr)
+        return [e for e in self.events
+                if e.addr is not None and self._line(e.addr) == line]
+
+    def summary(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

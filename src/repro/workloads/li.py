@@ -1,0 +1,103 @@
+"""130.li (SPEC CPU95): xlisp interpreter.
+
+Hot loop: evaluate one top-level expression per iteration — walk the cons
+cell graph (irregular pointer chasing), allocate fresh cells as evaluation
+builds results, and mark reachable cells GC-style.  li runs the *largest*
+transactions of the suite (Table 1: 181.8M speculative accesses per TX)
+with heavy branching (20.5%, 3.65% mispredicted), and avoids 22.5 false
+aborts per transaction: mispredicted evaluator branches chase stale cons
+pointers into heap regions that earlier expressions are still mutating.
+
+Pipeline split: stage 1 walks the expression list; stage 2 evaluates.
+"""
+
+from __future__ import annotations
+
+from ..cpu.isa import Load, Store, Work
+from .base import Fragment
+from .common import LINE, Lcg, Region, branch_burst
+from .pipeline import PipelinedBenchmark
+
+
+class LiWorkload(PipelinedBenchmark):
+    """Cons-graph evaluation model of li's hot loop."""
+
+    name = "130.li"
+    hot_loop_fraction = 1.0
+    mispredict_rate = 0.0365
+
+    branch_pct = 0.205
+    # Calibrated DSWP stage split (see EXPERIMENTS.md):
+    stage1_work = 2208
+    epilogue_work = 14900
+
+    def __init__(self, iterations: int = 8, eval_steps: int = 850,
+                 heap_lines: int = 224, alloc_per_step: int = 1) -> None:
+        super().__init__(iterations)
+        self.eval_steps = eval_steps
+        self.alloc_per_step = alloc_per_step
+        # Shared cons heap: read-mostly graph built at setup.
+        self.heap = Region(0x400_0000, heap_lines * LINE)
+        # Per-iteration allocation frontier (fresh cells -> big write set).
+        self.frontiers = Region(0x500_0000, iterations * 64 * LINE)
+
+    def setup_domain(self, memory) -> None:
+        rng = Lcg(0x11E4)
+        cells = self.heap.size // LINE
+        for c in range(cells):
+            # car = value, cdr = pointer to another cell.
+            cell = self.heap.line(c)
+            memory.write_word(cell, (c * 17 + 5) & 0xFFFF)
+            memory.write_word(cell + 8, self.heap.line(rng.next(cells)))
+
+    def _frontier(self, i: int) -> int:
+        return self.frontiers.base + i * 64 * LINE
+
+    def work_body(self, i: int, element: int) -> Fragment:
+        rng = Lcg(0x11E400 + i)
+        cells = self.heap.size // LINE
+        cell = self.heap.line((element * 313) % cells)
+        frontier = self._frontier(i)
+        wrong = (self.result_slot(i - 1),) if i else ()
+        allocated = 0
+        checksum = element
+        for step in range(self.eval_steps):
+            car = yield Load(cell)
+            cdr = yield Load(cell + 8)
+            checksum = (checksum * 33 + car) & 0xFFFFFFFF
+            # Evaluator dispatch: branchy, occasionally chasing a stale
+            # pointer into the previous expression's freshly-written cells.
+            yield from branch_burst(2, rng, wrong if step % 4 == 0 else ())
+            if (car + step) % 5 == 0:
+                # Allocate a result cell on this expression's frontier.
+                new_cell = frontier + (allocated % (64 * LINE // 16)) * 16
+                yield Store(new_cell, checksum & 0xFFFF)
+                yield Store(new_cell + 8, cell)
+                allocated += 1
+            yield Work(2)
+            cell = cdr
+        return (checksum + allocated) & 0xFFFFFFFF
+
+    def golden(self, i: int) -> int:
+        element = self.element_payload(i)
+        rng_setup = Lcg(0x11E4)
+        cells = self.heap.size // LINE
+        cars = [(c * 17 + 5) & 0xFFFF for c in range(cells)]
+        cdrs = [rng_setup.next(cells) for _ in range(cells)]
+        rng = Lcg(0x11E400 + i)
+        idx = (element * 313) % cells
+        allocated = 0
+        checksum = element
+        for step in range(self.eval_steps):
+            car = cars[idx]
+            checksum = (checksum * 33 + car) & 0xFFFFFFFF
+            for _ in range(2):
+                rng.next(4)
+            if (car + step) % 5 == 0:
+                allocated += 1
+            idx = cdrs[idx]
+        return (checksum + allocated) & 0xFFFFFFFF
+
+    def smtx_shared_regions(self):
+        return super().smtx_shared_regions() + [self.heap.span(),
+                                                self.frontiers.span()]

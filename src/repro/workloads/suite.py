@@ -1,0 +1,94 @@
+"""The evaluated benchmark suite: 8 models and their Table 1 ground truth.
+
+``make_benchmark(name, scale)`` builds a model instance; ``scale`` grows or
+shrinks iteration counts and per-transaction work together (1.0 = the
+default simulation size used by the benchmarks; the paper's native sizes
+are ~1000x larger — see EXPERIMENTS.md).
+
+``PAPER_TABLE1`` records the published per-benchmark statistics so the
+reproduction reports paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from .alvinn import AlvinnWorkload
+from .base import Workload
+from .bzip2 import Bzip2Workload
+from .crafty import CraftyWorkload
+from .gzip import GzipWorkload
+from .hmmer import HmmerWorkload
+from .ispell import IspellWorkload
+from .li import LiWorkload
+from .parser import ParserWorkload
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    benchmark: str
+    paradigm: str
+    hot_loop_pct: float
+    spec_accesses_per_tx: float
+    aborts_avoided_per_tx: float
+    sla_pct_of_loads: float
+    branch_pct: float
+    mispredict_pct: float
+
+
+PAPER_TABLE1: Dict[str, Table1Row] = {
+    "052.alvinn": Table1Row("052.alvinn", "DOALL", 85.5, 2_290_717, 0.158,
+                            1.28, 11.5, 0.245),
+    "130.li": Table1Row("130.li", "PS-DSWP", 100.0, 181_844_120, 22.5,
+                        4.21, 20.5, 3.65),
+    "164.gzip": Table1Row("164.gzip", "PS-DSWP", 98.4, 6_248_356, 3.32,
+                          7.08, 14.6, 2.68),
+    "186.crafty": Table1Row("186.crafty", "PS-DSWP", 99.5, 4_498_903, 1.50,
+                            4.92, 13.1, 5.59),
+    "197.parser": Table1Row("197.parser", "PS-DSWP", 100.0, 24_733_144, 24.6,
+                            2.56, 19.2, 1.05),
+    "256.bzip2": Table1Row("256.bzip2", "PS-DSWP", 98.5, 131_271_380, 17.3,
+                           6.04, 12.6, 1.33),
+    "456.hmmer": Table1Row("456.hmmer", "PS-DSWP", 100.0, 1_709_195, 0.187,
+                           1.40, 4.83, 1.03),
+    "ispell": Table1Row("ispell", "PS-DSWP", 86.5, 43_752, 0.028,
+                        13.0, 16.6, 2.82),
+}
+
+#: Paper Figure 8: benchmarks with a published SMTX comparison point.
+SMTX_COMPARABLE = ("052.alvinn", "130.li", "164.gzip", "197.parser",
+                   "256.bzip2", "456.hmmer")
+
+
+def _scaled(value: int, scale: float, minimum: int = 2) -> int:
+    return max(minimum, round(value * scale))
+
+
+_FACTORIES: Dict[str, Callable[[float], Workload]] = {
+    "052.alvinn": lambda s: AlvinnWorkload(iterations=_scaled(32, s)),
+    "130.li": lambda s: LiWorkload(iterations=_scaled(8, s)),
+    "164.gzip": lambda s: GzipWorkload(iterations=_scaled(20, s)),
+    "186.crafty": lambda s: CraftyWorkload(iterations=_scaled(24, s)),
+    "197.parser": lambda s: ParserWorkload(iterations=_scaled(14, s)),
+    "256.bzip2": lambda s: Bzip2Workload(iterations=_scaled(8, s)),
+    "456.hmmer": lambda s: HmmerWorkload(iterations=_scaled(40, s)),
+    "ispell": lambda s: IspellWorkload(iterations=_scaled(64, s)),
+}
+
+BENCHMARK_NAMES = tuple(_FACTORIES)
+
+
+def make_benchmark(name: str, scale: float = 1.0) -> Workload:
+    """Instantiate one benchmark model at the given size scale."""
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown benchmark {name!r}; "
+                       f"choose from {sorted(_FACTORIES)}")
+    return _FACTORIES[name](scale)
+
+
+def all_benchmarks(scale: float = 1.0) -> Dict[str, Workload]:
+    """Fresh instances of every benchmark model."""
+    return {name: make_benchmark(name, scale) for name in _FACTORIES}

@@ -1,0 +1,126 @@
+"""Tests for VID allocation, exhaustion, reset, and the comparator model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coherence.vid import (
+    DEFAULT_VID_BITS,
+    NONSPECULATIVE_VID,
+    CascadedComparator,
+    VidExhaustedError,
+    VidSpace,
+)
+
+
+class TestVidSpace:
+    def test_nonspeculative_vid_is_zero(self):
+        assert NONSPECULATIVE_VID == 0
+
+    def test_default_is_six_bits(self):
+        assert DEFAULT_VID_BITS == 6
+        assert VidSpace().max_vid == 63
+
+    def test_allocation_starts_at_one(self):
+        space = VidSpace()
+        assert space.allocate() == 1
+
+    def test_allocation_is_sequential_program_order(self):
+        space = VidSpace(bits=4)
+        assert [space.allocate() for _ in range(5)] == [1, 2, 3, 4, 5]
+
+    def test_max_vid_for_small_space(self):
+        assert VidSpace(bits=2).max_vid == 3
+
+    def test_exhaustion_raises(self):
+        space = VidSpace(bits=2)
+        for _ in range(3):
+            space.allocate()
+        assert space.exhausted()
+        with pytest.raises(VidExhaustedError):
+            space.allocate()
+
+    def test_reset_recycles_from_one(self):
+        space = VidSpace(bits=2)
+        for _ in range(3):
+            space.allocate()
+        space.reset()
+        assert not space.exhausted()
+        assert space.allocate() == 1
+        assert space.resets == 1
+
+    def test_allocated_total_spans_resets(self):
+        space = VidSpace(bits=2)
+        for _ in range(3):
+            space.allocate()
+        space.reset()
+        space.allocate()
+        assert space.allocated_total == 4
+
+    def test_rewind_for_abort_recovery(self):
+        space = VidSpace()
+        for _ in range(10):
+            space.allocate()
+        space.rewind(4)  # transactions 4..10 aborted, 3 committed
+        assert space.allocate() == 4
+
+    def test_rewind_out_of_range(self):
+        with pytest.raises(ValueError):
+            VidSpace(bits=3).rewind(100)
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ValueError):
+            VidSpace(bits=0)
+
+    @given(st.integers(min_value=1, max_value=10))
+    def test_exactly_2_to_m_minus_1_vids_per_epoch(self, bits):
+        space = VidSpace(bits=bits)
+        count = 0
+        while not space.exhausted():
+            space.allocate()
+            count += 1
+        assert count == 2 ** bits - 1
+
+
+class TestCascadedComparator:
+    def test_compare_semantics(self):
+        comp = CascadedComparator()
+        assert comp.compare(3, 5) < 0
+        assert comp.compare(5, 5) == 0
+        assert comp.compare(9, 2) > 0
+
+    def test_nearby_vids_use_fast_path(self):
+        comp = CascadedComparator(bits=6, low_bits=3)
+        comp.compare(1, 2)   # same high bits (both 0b000_xxx)
+        assert comp.fast_comparisons == 1
+        assert comp.cascaded_comparisons == 0
+
+    def test_distant_vids_cascade(self):
+        comp = CascadedComparator(bits=6, low_bits=3)
+        comp.compare(1, 60)  # high bits differ
+        assert comp.cascaded_comparisons == 1
+
+    def test_cascade_fraction(self):
+        comp = CascadedComparator(bits=6, low_bits=3)
+        comp.compare(1, 2)
+        comp.compare(1, 60)
+        assert comp.cascade_fraction == pytest.approx(0.5)
+
+    def test_cascade_fraction_empty(self):
+        assert CascadedComparator().cascade_fraction == 0.0
+
+    def test_invalid_low_bits(self):
+        with pytest.raises(ValueError):
+            CascadedComparator(bits=4, low_bits=5)
+
+    @given(st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63))
+    def test_result_matches_plain_comparison(self, a, b):
+        comp = CascadedComparator()
+        assert comp.compare(a, b) == (a > b) - (a < b)
+
+    def test_consecutive_vid_stream_rarely_cascades(self):
+        """Section 4.5's premise: in-use VIDs are close to each other."""
+        comp = CascadedComparator(bits=6, low_bits=3)
+        for vid in range(1, 60):
+            comp.compare(vid, vid + 1)
+        assert comp.cascade_fraction < 0.2

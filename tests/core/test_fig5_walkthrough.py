@@ -1,0 +1,58 @@
+"""The paper's Figure 5 worked example, step by step.
+
+Each assertion checks the *exact* version set (state, modVID, highVID) the
+figure shows after the corresponding instruction.
+"""
+
+from repro.experiments.fig5_walkthrough import ADDR, run_fig5
+
+
+def version_sets(steps):
+    """step -> set of (state, modVID, highVID), cache names dropped."""
+    return {s.step: {(state, mod, high) for _, state, mod, high in s.versions}
+            for s in steps}
+
+
+class TestFig5:
+    def setup_method(self):
+        self.steps = run_fig5()
+        self.versions = version_sets(self.steps)
+
+    def test_initial_state_uncached(self):
+        assert self.versions[0] == set()
+
+    def test_step1_first_speculative_read(self):
+        # Figure 5, instruction 1: E(0,0) -> S-E(0,1).
+        assert self.versions[1] == {("S-E", 0, 1)}
+
+    def test_step2_first_speculative_write(self):
+        # Backup S-O(0,1) plus modified S-M(1,1).
+        assert self.versions[2] == {("S-O", 0, 1), ("S-M", 1, 1)}
+
+    def test_step3_second_version(self):
+        # Three versions of one address coexist in one cache.
+        assert self.versions[3] == {("S-O", 0, 1), ("S-O", 1, 2),
+                                    ("S-M", 2, 2)}
+
+    def test_step4_peer_read_hits_middle_version(self):
+        # Thread 2's VID-1 read must find version 1 (uncommitted value
+        # forwarding) without disturbing the other versions.
+        step = self.steps[4]
+        assert step.loaded_value != 0
+        assert ("S-M", 2, 2) in self.versions[4]
+        assert any(state == "S-S" and mod == 1
+                   for state, mod, high in self.versions[4])
+
+    def test_step4_reads_forwarded_value(self):
+        # VID 1's store advanced the list head; thread 2 sees that value.
+        step1_value = self.steps[1].loaded_value
+        step4_value = self.steps[4].loaded_value
+        assert step4_value != step1_value
+
+    def test_step5_commit_folds_version1(self):
+        # After commitMTX(1): version 1's data is architectural (modVID 0),
+        # version 2 stays speculative, version 0's backup is gone.
+        versions = self.versions[5]
+        assert ("S-M", 2, 2) in versions
+        assert ("S-O", 0, 1) not in versions
+        assert any(mod == 0 and high == 2 for _, mod, high in versions)

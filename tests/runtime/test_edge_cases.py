@@ -1,0 +1,66 @@
+"""Edge cases of the paradigm executors: degenerate sizes and shapes."""
+
+import pytest
+
+from repro.core import MachineConfig
+from repro.runtime.paradigms import (
+    run_doacross,
+    run_doall,
+    run_dswp,
+    run_ps_dswp,
+    run_sequential,
+)
+from repro.workloads import LinkedListWorkload
+
+
+@pytest.mark.parametrize("runner", [run_sequential, run_dswp, run_ps_dswp,
+                                    run_doacross, run_doall])
+class TestSingleIteration:
+    def test_one_iteration_loop(self, runner):
+        workload = LinkedListWorkload(nodes=1)
+        result = runner(workload)
+        assert workload.observed_result(result.system) == \
+            workload.expected_result(result.system)
+
+
+@pytest.mark.parametrize("runner", [run_dswp, run_ps_dswp, run_doacross,
+                                    run_doall])
+class TestTwoIterations:
+    def test_two_iteration_loop(self, runner):
+        workload = LinkedListWorkload(nodes=2)
+        result = runner(workload)
+        assert result.system.stats.committed == 2
+        assert workload.observed_result(result.system) == \
+            workload.expected_result(result.system)
+
+
+class TestShapes:
+    def test_two_core_machine_runs_ps_dswp(self):
+        """On 2 cores the pipeline collapses to DSWP (1 worker, inline)."""
+        workload = LinkedListWorkload(nodes=12)
+        result = run_ps_dswp(workload, MachineConfig(num_cores=2))
+        assert result.paradigm == "DSWP"
+        assert workload.observed_result(result.system) == \
+            workload.expected_result(result.system)
+
+    def test_more_workers_than_iterations(self):
+        workload = LinkedListWorkload(nodes=3)
+        result = run_ps_dswp(workload, MachineConfig(num_cores=8),
+                             stage2_workers=6)
+        assert result.system.stats.committed == 3
+        assert workload.observed_result(result.system) == \
+            workload.expected_result(result.system)
+
+    def test_single_worker_doall(self):
+        workload = LinkedListWorkload(nodes=6)
+        result = run_doall(workload, workers=1)
+        assert workload.observed_result(result.system) == \
+            workload.expected_result(result.system)
+
+    def test_minimum_vid_space(self):
+        """1-bit VIDs: exactly one speculative transaction per epoch."""
+        workload = LinkedListWorkload(nodes=6)
+        result = run_ps_dswp(workload, MachineConfig(vid_bits=1))
+        assert result.system.vid_space.resets >= 5
+        assert workload.observed_result(result.system) == \
+            workload.expected_result(result.system)

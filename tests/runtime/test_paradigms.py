@@ -1,0 +1,130 @@
+"""Tests for the parallel execution paradigms on the linked-list workload."""
+
+import pytest
+
+from repro.core import MachineConfig
+from repro.runtime.paradigms import (
+    run_doacross,
+    run_doall,
+    run_dswp,
+    run_ps_dswp,
+    run_sequential,
+    run_workload,
+)
+from repro.workloads.linkedlist import LinkedListWorkload
+
+
+def fresh(nodes=24, **kw):
+    return LinkedListWorkload(nodes=nodes, **kw)
+
+
+@pytest.fixture(scope="module")
+def sequential_baseline():
+    workload = fresh()
+    result = run_sequential(workload)
+    return workload.expected_result(result.system), result.cycles
+
+
+class TestSequential:
+    def test_produces_golden_result(self, sequential_baseline):
+        expected, _ = sequential_baseline
+        workload = fresh()
+        result = run_sequential(workload)
+        assert workload.observed_result(result.system) == expected
+
+    def test_no_transactions(self):
+        result = run_sequential(fresh())
+        assert result.system.stats.committed == 0
+        assert result.paradigm == "Sequential"
+
+
+@pytest.mark.parametrize("runner,paradigm", [
+    (run_dswp, "DSWP"),
+    (run_ps_dswp, "PS-DSWP"),
+    (run_doacross, "DOACROSS"),
+    (run_doall, "DOALL"),
+])
+class TestSpeculativeParadigms:
+    def test_correct_result(self, runner, paradigm, sequential_baseline):
+        expected, _ = sequential_baseline
+        workload = fresh()
+        result = runner(workload)
+        assert workload.observed_result(result.system) == expected
+        assert result.paradigm == paradigm
+
+    def test_one_transaction_per_iteration(self, runner, paradigm,
+                                            sequential_baseline):
+        workload = fresh()
+        result = runner(workload)
+        assert result.system.stats.committed == workload.iterations
+
+    def test_no_misspeculation(self, runner, paradigm, sequential_baseline):
+        """High-confidence speculation: zero aborts, as in section 6.3."""
+        workload = fresh()
+        result = runner(workload)
+        assert result.system.stats.aborted == 0
+        assert result.recoveries == 0
+
+
+class TestParadigmRelativePerformance:
+    """The section 2.1 ordering on a pipeline-friendly loop."""
+
+    @pytest.fixture(scope="class")
+    def cycles(self):
+        out = {}
+        for name, runner in [("seq", run_sequential), ("doacross", run_doacross),
+                             ("dswp", run_dswp), ("ps", run_ps_dswp)]:
+            out[name] = runner(fresh(nodes=40, work_cycles=300)).cycles
+        return out
+
+    def test_ps_dswp_is_fastest(self, cycles):
+        assert cycles["ps"] < cycles["dswp"]
+        assert cycles["ps"] < cycles["doacross"]
+        assert cycles["ps"] < cycles["seq"]
+
+    def test_dswp_beats_doacross(self, cycles):
+        """Pipeline paradigms hide inter-core latency; DOACROSS pays it
+        per iteration (Figure 1)."""
+        assert cycles["dswp"] < cycles["doacross"]
+
+
+class TestVidOverflow:
+    def test_ps_dswp_survives_vid_exhaustion(self):
+        """More iterations than VIDs forces the 4.6 reset protocol."""
+        config = MachineConfig(num_cores=4, vid_bits=3)  # only 7 VIDs
+        workload = fresh(nodes=30)
+        result = run_ps_dswp(workload, config)
+        assert result.system.vid_space.resets >= 3
+        assert workload.observed_result(result.system) == \
+            workload.expected_result(result.system)
+
+    def test_doall_epoch_barrier(self):
+        config = MachineConfig(num_cores=4, vid_bits=3)
+        workload = fresh(nodes=30)
+        result = run_doall(workload, config)
+        assert result.system.vid_space.resets >= 3
+        assert workload.observed_result(result.system) == \
+            workload.expected_result(result.system)
+
+
+class TestDispatch:
+    def test_run_workload_uses_declared_paradigm(self):
+        result = run_workload(fresh())
+        assert result.paradigm == "PS-DSWP"
+
+    def test_explicit_paradigm(self):
+        result = run_workload(fresh(), paradigm="DOACROSS")
+        assert result.paradigm == "DOACROSS"
+
+    def test_unknown_paradigm(self):
+        with pytest.raises(ValueError):
+            run_workload(fresh(), paradigm="MAGIC")
+
+
+class TestWorkerScaling:
+    def test_more_stage2_workers_helps(self):
+        slow = run_ps_dswp(fresh(nodes=40, work_cycles=600), stage2_workers=1)
+        config8 = MachineConfig(num_cores=8)
+        fast = run_ps_dswp(fresh(nodes=40, work_cycles=600),
+                           config8, stage2_workers=6)
+        assert fast.cycles < slow.cycles

@@ -1,0 +1,81 @@
+"""Address-space hygiene: no two regions of any benchmark may overlap.
+
+Region collisions would silently alias unrelated data structures through
+the cache hierarchy — a bug class worth guarding against structurally.
+"""
+
+import pytest
+
+from repro.cpu.interrupts import KERNEL_REGION_BASE
+from repro.workloads import BENCHMARK_NAMES, LinkedListWorkload, make_benchmark
+from repro.workloads.common import Region
+from repro.workloads.pipeline import PipelinedBenchmark
+
+
+def regions_of(workload) -> dict:
+    """All named address regions a workload instance declares."""
+    found = {}
+    for name, value in vars(workload).items():
+        if isinstance(value, Region) and value.size > 0:
+            found[name] = (value.base, value.end)
+    if isinstance(workload, PipelinedBenchmark):
+        found["produced_slot"] = (workload.produced_slot,
+                                  workload.produced_slot + 64)
+    if isinstance(workload, LinkedListWorkload):
+        found["nodes"] = (workload.node_region,
+                          workload.node_region + workload.nodes * 64)
+        found["table"] = (workload.table_region,
+                          workload.table_region + workload.work_reads * 32 * 8)
+        found["produced"] = (workload.produced_node,
+                             workload.produced_node + 64)
+    return found
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_benchmark_regions_disjoint(name):
+    workload = make_benchmark(name)
+    regions = regions_of(workload)
+    assert regions, f"{name} declares no regions?"
+    spans = sorted(regions.items(), key=lambda kv: kv[1][0])
+    for (name_a, (_, end_a)), (name_b, (start_b, _)) in zip(spans, spans[1:]):
+        assert end_a <= start_b, \
+            f"{name}: regions {name_a!r} and {name_b!r} overlap"
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_benchmark_regions_avoid_kernel_space(name):
+    """Interrupt handlers use a dedicated region (section 5.2 tests rely
+    on it being disjoint from every workload)."""
+    workload = make_benchmark(name)
+    for region_name, (start, end) in regions_of(workload).items():
+        assert end <= KERNEL_REGION_BASE or start >= KERNEL_REGION_BASE + (1 << 20), \
+            f"{name}.{region_name} collides with the kernel region"
+
+
+def test_linkedlist_regions_disjoint():
+    workload = LinkedListWorkload(nodes=64)
+    spans = sorted(regions_of(workload).values())
+    for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+        assert end_a <= start_b
+
+
+def test_compiled_workload_regions_disjoint():
+    from repro.compiler import Loop, compile_loop
+    loop = Loop("hygiene", iterations=8)
+    loop.scalar("a"); loop.scalar("b")
+    loop.array("x"); loop.array("y")
+    loop.statement("s", reads=("a",), writes=("a", "x"),
+                   compute=lambda i, e: {"a": e["a"] + 1, "x": i})
+    loop.statement("t", reads=("b", "x"), writes=("b", "y"),
+                   compute=lambda i, e: {"b": e["b"] + e["x"], "y": i})
+    workload = compile_loop(loop)
+    addrs = set()
+    for name in ("a", "b"):
+        addr = workload.addr_of(name, 0)
+        assert addr not in addrs
+        addrs.add(addr)
+    for name in ("x", "y"):
+        for i in range(8):
+            addr = workload.addr_of(name, i)
+            assert addr not in addrs
+            addrs.add(addr)
