@@ -11,6 +11,17 @@ import pytest
 
 from repro.experiments import BenchmarkRunner
 
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as a paper artifact.
+
+    CI's tier-1 job deselects these with ``-m "not paper_artifact"``;
+    they run on demand (``pytest benchmarks/ -s``) to regenerate the
+    published tables and figures.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.paper_artifact)
+
 #: One full-scale runner shared by the table/figure benchmarks so the
 #: expensive per-benchmark runs are computed once per session.
 _RUNNER = BenchmarkRunner(scale=1.0)

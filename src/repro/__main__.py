@@ -17,6 +17,7 @@ import time
 
 from .experiments import (
     BenchmarkRunner,
+    format_contention_sweep,
     format_fig1,
     format_fig2,
     format_fig5,
@@ -24,6 +25,7 @@ from .experiments import (
     format_fig9,
     format_table1,
     format_table3,
+    run_contention_sweep,
     run_fig1,
     run_fig2,
     run_fig5,
@@ -35,6 +37,8 @@ from .experiments import (
 from .workloads.suite import BENCHMARK_NAMES
 
 _ARTIFACTS = {
+    "contention": lambda runner: format_contention_sweep(
+        run_contention_sweep()),
     "fig1": lambda runner: format_fig1(run_fig1()),
     "fig2": lambda runner: format_fig2(run_fig2(runner=runner)),
     "fig5": lambda runner: format_fig5(run_fig5()),

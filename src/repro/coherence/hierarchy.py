@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..errors import MisspeculationError, SpeculativeOverflowError
+from ..txctl.causes import AbortCause
 from .cache import VersionedCache
 from .line import CacheLine
 from .memory import MainMemory
@@ -526,7 +527,7 @@ class MemoryHierarchy:
         raise MisspeculationError(
             f"store with VID {vid} conflicts with version "
             f"{line.state}({line.mod_vid},{line.high_vid})",
-            vid=vid, addr=line.addr)
+            vid=vid, addr=line.addr, cause=AbortCause.CONFLICT)
 
     # ------------------------------------------------------------------
     # Eviction handling
@@ -568,4 +569,5 @@ class MemoryHierarchy:
         raise SpeculativeOverflowError(
             f"speculative version {victim.state}({victim.mod_vid},"
             f"{victim.high_vid}) of 0x{victim.addr:x} evicted past the LLC",
-            vid=victim.mod_vid, addr=victim.addr)
+            vid=victim.mod_vid, addr=victim.addr,
+            cause=AbortCause.CAPACITY_OVERFLOW)

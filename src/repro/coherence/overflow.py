@@ -61,11 +61,13 @@ class OverflowVersionTable(VersionedCache):
             # install() only evicts when the capacity safety valve blows;
             # the caller treats that as the base protocol's overflow abort.
             from ..errors import SpeculativeOverflowError
+            from ..txctl.causes import AbortCause
             victim = evicted[0]
             raise SpeculativeOverflowError(
                 f"overflow table capacity exceeded evicting "
                 f"{victim.state}({victim.mod_vid},{victim.high_vid})",
-                vid=victim.mod_vid, addr=victim.addr)
+                vid=victim.mod_vid, addr=victim.addr,
+                cause=AbortCause.CAPACITY_OVERFLOW)
 
     def resident_versions(self) -> int:
         return self.occupancy()

@@ -14,6 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ..txctl.causes import AbortCause
+from ..txctl.stats import ContentionStats
+
 
 @dataclass
 class OpenTransaction:
@@ -55,6 +58,8 @@ class SystemStats:
     false_aborts_triggered: int = 0
     vid_resets: int = 0
     transactions: List[CommittedTransaction] = field(default_factory=list)
+    #: Abort-cause taxonomy and recovery-decision counters (repro.txctl).
+    contention: ContentionStats = field(default_factory=ContentionStats)
     _open: Dict[int, OpenTransaction] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -95,10 +100,14 @@ class SystemStats:
         self.transactions.append(record)
         return record
 
-    def record_abort(self, explicit: bool = False) -> None:
+    def record_abort(self, explicit: bool = False,
+                     cause: Optional[AbortCause] = None,
+                     vid: int = 0) -> None:
         self.aborted += 1
         if explicit:
             self.explicit_aborts += 1
+        if cause is not None:
+            self.contention.record_abort(vid, cause)
         self._open.clear()
 
     # ------------------------------------------------------------------

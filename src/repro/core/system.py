@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Optional, Set, Tuple
 from ..coherence.hierarchy import AccessResult, MemoryHierarchy
 from ..coherence.vid import VidSpace
 from ..errors import MisspeculationError, TransactionUsageError
+from ..txctl.causes import AbortCause, classify
 from .config import MachineConfig
 from .context import ThreadContext
 from .sla import SlaTracker
@@ -165,8 +166,9 @@ class HMTXSystem:
         to its registered recovery code (the runtime restarts execution
         from the last committed iteration).
         """
-        self._abort(explicit=True)
-        raise MisspeculationError(f"explicit abortMTX({vid})", vid=vid)
+        self._abort(explicit=True, cause=AbortCause.EXPLICIT, vid=vid)
+        raise MisspeculationError(f"explicit abortMTX({vid})", vid=vid,
+                                  cause=AbortCause.EXPLICIT)
 
     # ------------------------------------------------------------------
     # Memory operations
@@ -175,7 +177,14 @@ class HMTXSystem:
     def load(self, tid: int, addr: int, now: int = 0) -> AccessResult:
         """Load with the thread's current VID attached."""
         ctx = self.contexts[tid]
-        result = self.hierarchy.load(ctx.core, addr, ctx.vid, now=now)
+        try:
+            result = self.hierarchy.load(ctx.core, addr, ctx.vid, now=now)
+        except MisspeculationError as exc:
+            # A load can misspeculate too: installing the fetched line may
+            # evict a speculative version past the LLC (section 5.4).  The
+            # abort must flush state here just like the store path.
+            self._abort(explicit=False, cause=classify(exc), vid=exc.vid)
+            raise
         if ctx.vid > 0:
             # The SLA (if one is needed) is sent when the load retires; it
             # is buffered store-queue style, so it adds traffic but no
@@ -189,11 +198,14 @@ class HMTXSystem:
         ctx = self.contexts[tid]
         try:
             result = self.hierarchy.store(ctx.core, addr, ctx.vid, value, now=now)
-        except MisspeculationError:
+        except MisspeculationError as exc:
             line = addr - (addr % self.config.line_size)
             if not self.sla.enabled and line in self._wrong_path_marks:
+                # A false abort the SLA mechanism would have avoided: the
+                # conflicting mark came from a squashed wrong-path load.
                 self.stats.false_aborts_triggered += 1
-            self._abort(explicit=False)
+                exc.cause = AbortCause.WRONG_PATH
+            self._abort(explicit=False, cause=classify(exc), vid=exc.vid)
             raise
         if ctx.vid > 0:
             self.stats.record_store(ctx.vid, addr)
@@ -232,12 +244,31 @@ class HMTXSystem:
         attached regardless of the thread's VID register.
         """
         ctx = self.contexts[tid]
-        return self.hierarchy.load(ctx.core, addr, 0)
+        try:
+            return self.hierarchy.load(ctx.core, addr, 0)
+        except MisspeculationError as exc:
+            exc.cause = AbortCause.INTERRUPT
+            self._abort(explicit=False, cause=AbortCause.INTERRUPT,
+                        vid=exc.vid)
+            raise
 
     def kernel_store(self, tid: int, addr: int, value: int) -> AccessResult:
-        """A store from interrupt/exception-handler code (section 5.2)."""
+        """A store from interrupt/exception-handler code (section 5.2).
+
+        A handler store landing on live speculative state is a
+        conservative conflict (the hierarchy treats any non-speculative
+        write to a speculative version as one); it aborts with cause
+        ``INTERRUPT`` so the contention manager knows speculation lost to
+        kernel activity, not to another transaction.
+        """
         ctx = self.contexts[tid]
-        return self.hierarchy.store(ctx.core, addr, 0, value)
+        try:
+            return self.hierarchy.store(ctx.core, addr, 0, value)
+        except MisspeculationError as exc:
+            exc.cause = AbortCause.INTERRUPT
+            self._abort(explicit=False, cause=AbortCause.INTERRUPT,
+                        vid=exc.vid)
+            raise
 
     def output(self, tid: int, value: Any) -> None:
         """Emit program output; buffered until commit inside an MTX (4.7)."""
@@ -251,9 +282,10 @@ class HMTXSystem:
     # Abort/recovery plumbing
     # ------------------------------------------------------------------
 
-    def _abort(self, explicit: bool) -> int:
+    def _abort(self, explicit: bool,
+               cause: Optional[AbortCause] = None, vid: int = 0) -> int:
         latency = self.hierarchy.abort()
-        self.stats.record_abort(explicit=explicit)
+        self.stats.record_abort(explicit=explicit, cause=cause, vid=vid)
         self.sla.on_abort()
         self._wrong_path_marks.clear()
         dropped = 0

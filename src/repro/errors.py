@@ -12,14 +12,21 @@ class MisspeculationError(ReproError):
 
     Carries enough context for the runtime's recovery code (the handler
     registered with ``initMTX``) to report and restart: the VID of the
-    offending access, the address involved, and a human-readable reason.
+    offending access, the address involved, a human-readable reason, and
+    the abort *cause* (an :class:`~repro.txctl.causes.AbortCause`) stamped
+    at the raise site so the contention manager can retry intelligently.
     """
 
-    def __init__(self, reason: str, vid: int = 0, addr: int = -1) -> None:
+    def __init__(self, reason: str, vid: int = 0, addr: int = -1,
+                 cause=None) -> None:
         super().__init__(reason)
         self.reason = reason
         self.vid = vid
         self.addr = addr
+        #: :class:`~repro.txctl.causes.AbortCause` (or None for legacy
+        #: raise sites; :func:`repro.txctl.causes.classify` falls back on
+        #: the exception type).
+        self.cause = cause
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MisspeculationError(vid={self.vid}, addr=0x{self.addr:x}, {self.reason!r})"
@@ -44,3 +51,24 @@ class ProtocolError(ReproError):
 
 class TransactionUsageError(ReproError):
     """The HMTX ISA was used incorrectly (e.g. out-of-order commit)."""
+
+
+class LivelockError(ReproError):
+    """Abort recovery made no headway and no fallback was available.
+
+    Raised by the contention manager only when the serial fallback is
+    explicitly disabled — with the fallback enabled, livelock escalates
+    into guaranteed-progress serial execution instead of an exception.
+    Carries the last-aborting VID and the recovery count so the failure
+    is diagnosable from the message alone.
+    """
+
+    def __init__(self, vid: int, recoveries: int,
+                 detail: str = "") -> None:
+        message = (f"abort livelock: VID {vid} still aborting after "
+                   f"{recoveries} recoveries")
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.vid = vid
+        self.recoveries = recoveries

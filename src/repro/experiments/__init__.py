@@ -13,6 +13,11 @@ Table 3       :func:`run_table3` / ``format_table3``  benchmarks/test_table3
 ============  =====================================  =====================
 """
 
+from .contention_sweep import (
+    ContentionSweepResult,
+    format_contention_sweep,
+    run_contention_sweep,
+)
 from .fig1_timing import Fig1Result, format_fig1, run_fig1
 from .fig2_smtx_rwset import Fig2Result, format_fig2, run_fig2
 from .fig5_walkthrough import WalkStep, format_fig5, run_fig5
@@ -25,6 +30,7 @@ from .table3_power import Table3Result, format_table3, run_table3
 
 __all__ = [
     "BenchmarkRunner",
+    "ContentionSweepResult",
     "Fig1Result",
     "Fig2Result",
     "Fig8Result",
@@ -32,6 +38,7 @@ __all__ = [
     "Table1Result",
     "Table3Result",
     "WalkStep",
+    "format_contention_sweep",
     "format_fig1",
     "format_fig2",
     "format_fig5",
@@ -44,6 +51,7 @@ __all__ = [
     "format_table1",
     "format_table3",
     "geomean",
+    "run_contention_sweep",
     "run_fig1",
     "run_fig2",
     "run_fig5",

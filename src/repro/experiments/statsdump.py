@@ -41,6 +41,20 @@ def collect_stats(result) -> List[Section]:
         ("vid_resets", stats.vid_resets),
     ]))
 
+    contention = stats.contention
+    sections.append(("contention (txctl)", [
+        ("aborts", contention.aborts),
+        ("by_cause", contention.cause_summary()),
+        ("retries", contention.retries),
+        ("backoff_cycles", contention.backoff_cycles),
+        ("serialized_recoveries", contention.serialized_recoveries),
+        ("escalations", " ".join(f"{k}={v}" for k, v in
+                                 contention.escalations.items()) or "-"),
+        ("fallback_entries", contention.fallback_entries),
+        ("fallback_iterations", contention.fallback_iterations),
+        ("serial_fallback", result.extra.get("serial_fallback", False)),
+    ]))
+
     sections.append(("sla", [
         ("slas_sent", stats.slas_sent),
         ("pct_of_spec_loads",

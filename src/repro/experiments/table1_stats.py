@@ -30,6 +30,9 @@ class MeasuredRow:
     sla_pct_of_loads: float
     branch_pct: float
     mispredict_pct: float
+    #: Abort breakdown by txctl cause ("-" when the run never aborted);
+    #: no paper column exists — the paper reports only totals per figure.
+    aborts_by_cause: str = "-"
 
 
 @dataclass
@@ -61,6 +64,7 @@ def run_table1(scale: float = 1.0,
             sla_pct_of_loads=100.0 * stats.sla_fraction_of_spec_loads,
             branch_pct=100.0 * exec_stats.branch_fraction,
             mispredict_pct=100.0 * exec_stats.mispredict_rate,
+            aborts_by_cause=stats.contention.cause_summary(),
         )
     return Table1Result(measured=measured, paper=dict(PAPER_TABLE1))
 
@@ -88,10 +92,11 @@ def format_table1(result: Table1Result) -> str:
             f"{m.sla_pct_of_loads:.2f}% ({p.sla_pct_of_loads}%)",
             f"{m.branch_pct:.1f}% ({p.branch_pct}%)",
             f"{m.mispredict_pct:.2f}% ({p.mispredict_pct}%)",
+            m.aborts_by_cause,
         ])
     return format_table(
         ["benchmark", "paradigm", "hot loop", "spec acc/TX (paper)",
          "SLA-avoided/TX (paper)", "% loads SLA (paper)",
-         "% branches (paper)", "mispredict (paper)"],
+         "% branches (paper)", "mispredict (paper)", "aborts by cause"],
         rows,
         title="Table 1: speculative-execution statistics (measured vs paper)")

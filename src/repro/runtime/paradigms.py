@@ -19,14 +19,17 @@ transaction management, reproducing the execution models of Figure 1:
 All speculative paradigms also implement the section 4.6 VID-overflow
 protocol (stall until the max VID commits, then reset) and abort recovery
 (restart from the last committed iteration, recomputing register state from
-committed memory).
+committed memory).  Recovery decisions — retry, backoff, serialise, or
+abandon speculation for the non-speculative serial fallback — are
+delegated to a :class:`~repro.txctl.manager.ContentionManager`; every
+speculative runner accepts one via the ``manager`` keyword.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Optional
 
 from ..coherence.vid import VidExhaustedError
 from ..core.config import MachineConfig
@@ -34,7 +37,8 @@ from ..core.system import HMTXSystem
 from ..cpu.core_model import CoreExecutor
 from ..cpu.interrupts import InterruptInjector
 from ..cpu.isa import BeginMTX, CommitMTX, Consume, Op, Produce, Work
-from ..errors import MisspeculationError, ReproError
+from ..errors import MisspeculationError
+from ..txctl import Action, ContentionManager, SerialFallback
 from ..workloads.base import Workload
 from .scheduler import RunResult, Scheduler
 
@@ -42,14 +46,10 @@ Program = Generator[Op, Any, None]
 
 #: Cycles burnt per poll while stalled (VID exhaustion, commit ordering).
 _SPIN_COST = 4
-#: Upper bound on abort-recovery restarts before giving up.
-_MAX_RECOVERIES = 64
 #: How many uncommitted transactions one worker keeps open at once (the
 #: paper allows many per core; bounding it caps VID-window and cache-set
 #: version pressure, like the bounded DSWP queues).
 _MAX_OPEN_TX_PER_CORE = 4
-#: Consecutive no-progress recoveries before degrading to serial mode.
-_SERIAL_FALLBACK_AFTER = 2
 #: System-wide cap on live (begun, uncommitted) transactions.  Every live
 #: transaction can pin one version of a hot forwarded line (Figure 3's
 #: ``producedNode``) in a single cache set; with an 8-way L1 over a 32-way
@@ -158,58 +158,94 @@ def _wait_commit_turn(system: HMTXSystem, vid: int) -> Program:
         yield Work(_SPIN_COST)
 
 
+@dataclass
+class RecoveryOutcome:
+    """How one speculative run's abort recovery played out."""
+
+    recoveries: int = 0
+    serialized: bool = False
+    fallback: bool = False
+
+
+def _run_serial_fallback(scheduler: Scheduler, system: HMTXSystem,
+                         workload: Workload,
+                         manager: ContentionManager) -> None:
+    """Execute the remaining iterations non-speculatively (txctl fallback).
+
+    The triggering abort already rolled every cache back to the last
+    committed state, so one thread re-runs iterations
+    ``committed..iterations`` at VID 0 under the global fallback lock
+    while every other thread parks — guaranteed forward progress with MTX
+    atomicity intact (nothing speculative runs concurrently).
+    """
+    fallback = manager.fallback
+    assert fallback is not None
+    lock_tid = scheduler.threads[0].tid
+    programs: Dict[int, Program] = {
+        lock_tid: fallback.program(system, workload, tid=lock_tid,
+                                   stats=manager.stats)}
+    for thread in scheduler.threads[1:]:
+        programs[thread.tid] = SerialFallback.idle_program()
+    scheduler.queues.clear_all()
+    scheduler.replace_programs(programs)
+    scheduler.run()
+
+
 def _run_with_recovery(scheduler: Scheduler, system: HMTXSystem,
-                       rebuild: Callable[..., Dict[int, Program]]
-                       ) -> Tuple[int, bool]:
+                       workload: Workload,
+                       rebuild: Callable[..., Dict[int, Program]],
+                       manager: Optional[ContentionManager] = None,
+                       ) -> RecoveryOutcome:
     """Drive the scheduler, restarting from committed state on aborts.
 
     ``rebuild(serial=...)`` must produce fresh per-thread programs resuming
     at iteration ``system.stats.committed`` (the abort already rolled all
     speculative memory back to the last committed state).
 
-    When aborts repeat without forward progress — a misspeculation that
-    recurs deterministically under the same interleaving — the runtime
-    **degrades to serial execution**: one transaction in flight at a time,
-    which makes conflicts (and, without SLAs, wrong-path false aborts)
-    impossible and guarantees progress at roughly sequential speed.  Real
-    speculative runtimes employ the same retry-then-serialise policy.
-
-    Returns ``(recoveries, degraded_to_serial)``.
+    Every abort is classified and handed to the
+    :class:`~repro.txctl.manager.ContentionManager`, which decides the
+    next attempt: speculative retry (optionally after a machine-wide
+    backoff stall), serialised retry (one transaction in flight — makes
+    conflicts, and without SLAs wrong-path false aborts, impossible), or
+    the non-speculative serial fallback (guaranteed progress even for
+    transactions that can never fit the cache hierarchy).  Livelock
+    escalates down that ladder instead of raising;
+    :class:`~repro.errors.LivelockError` is reserved for managers whose
+    fallback is explicitly disabled.
     """
-    recoveries = 0
-    no_progress = 0
-    last_committed = system.stats.committed
-    serial = False
+    manager = (manager or ContentionManager()).bind(system)
     while True:
         try:
             scheduler.run()
-            return recoveries, serial
-        except MisspeculationError:
-            recoveries += 1
-            if recoveries > _MAX_RECOVERIES:
-                raise ReproError("abort livelock: too many recoveries")
-            if system.stats.committed > last_committed:
-                no_progress = 0
-            else:
-                no_progress += 1
-                if no_progress >= _SERIAL_FALLBACK_AFTER:
-                    serial = True
-            last_committed = system.stats.committed
+            return RecoveryOutcome(manager.recoveries, manager.serialized,
+                                   manager.fallback_taken)
+        except MisspeculationError as exc:
+            decision = manager.on_abort(exc, committed=system.stats.committed)
+            if decision.action is Action.FALLBACK:
+                _run_serial_fallback(scheduler, system, workload, manager)
+                return RecoveryOutcome(manager.recoveries,
+                                       manager.serialized, True)
+            if decision.delay:
+                scheduler.stall_all(decision.delay)
             scheduler.queues.clear_all()
+            serial = decision.action is Action.SERIALIZE
             scheduler.replace_programs(rebuild(serial=serial))
 
 
 def _result(workload: Workload, paradigm: str, system: HMTXSystem,
-            scheduler: Scheduler, recoveries: int,
-            degraded: bool = False) -> ParadigmResult:
+            scheduler: Scheduler,
+            outcome: Optional[RecoveryOutcome] = None) -> ParadigmResult:
+    outcome = outcome or RecoveryOutcome()
     thread_clocks = {t.tid: t.clock for t in scheduler.threads}
     cycles = max(thread_clocks.values())
     run = RunResult(cycles, thread_clocks, {},
                     sum(t.ops_executed for t in scheduler.threads))
     result = ParadigmResult(workload.name, paradigm, cycles, system, run,
-                            recoveries)
+                            outcome.recoveries)
     result.extra["exec_stats"] = scheduler.executor.stats
-    result.extra["degraded_serial"] = degraded
+    result.extra["degraded_serial"] = outcome.serialized
+    result.extra["serial_fallback"] = outcome.fallback
+    result.extra["contention"] = system.stats.contention
     return result
 
 
@@ -223,6 +259,7 @@ def run_doall(workload: Workload, config: Optional[MachineConfig] = None,
               sla_enabled: bool = True,
               executor_factory: Optional[Callable[[HMTXSystem], CoreExecutor]] = None,
               system_factory: Optional[Callable[[], HMTXSystem]] = None,
+              manager: Optional[ContentionManager] = None,
               ) -> ParadigmResult:
     """Speculative DOALL: iteration ``i`` runs on thread ``i % workers``.
 
@@ -276,11 +313,11 @@ def run_doall(workload: Workload, config: Optional[MachineConfig] = None,
     scheduler = _make_scheduler(system, interrupts, executor_factory)
     for w, program in build().items():
         scheduler.add_thread(w, core=w % system.config.num_cores, program=program)
-    recoveries, degraded = _run_with_recovery(
-        scheduler, system,
-        lambda serial=False: build(system.stats.committed, serial))
-    return _result(workload, "DOALL", system, scheduler, recoveries,
-                   degraded)
+    outcome = _run_with_recovery(
+        scheduler, system, workload,
+        lambda serial=False: build(system.stats.committed, serial),
+        manager=manager)
+    return _result(workload, "DOALL", system, scheduler, outcome)
 
 
 # ----------------------------------------------------------------------
@@ -293,6 +330,7 @@ def run_doacross(workload: Workload, config: Optional[MachineConfig] = None,
                  sla_enabled: bool = True,
                  executor_factory: Optional[Callable[[HMTXSystem], CoreExecutor]] = None,
                  system_factory: Optional[Callable[[], HMTXSystem]] = None,
+                 manager: Optional[ContentionManager] = None,
                  ) -> ParadigmResult:
     """Speculative DOACROSS: the carry crosses cores every iteration.
 
@@ -336,11 +374,11 @@ def run_doacross(workload: Workload, config: Optional[MachineConfig] = None,
     scheduler = _make_scheduler(system, interrupts, executor_factory)
     for w, program in build().items():
         scheduler.add_thread(w, core=w % system.config.num_cores, program=program)
-    recoveries, degraded = _run_with_recovery(
-        scheduler, system,
-        lambda serial=False: build(system.stats.committed, serial))
-    return _result(workload, "DOACROSS", system, scheduler, recoveries,
-                   degraded)
+    outcome = _run_with_recovery(
+        scheduler, system, workload,
+        lambda serial=False: build(system.stats.committed, serial),
+        manager=manager)
+    return _result(workload, "DOACROSS", system, scheduler, outcome)
 
 
 # ----------------------------------------------------------------------
@@ -354,6 +392,7 @@ def run_ps_dswp(workload: Workload, config: Optional[MachineConfig] = None,
                 executor_factory: Optional[Callable[[HMTXSystem], CoreExecutor]] = None,
                 system_factory: Optional[Callable[[], HMTXSystem]] = None,
                 inline_commit: Optional[bool] = None,
+                manager: Optional[ContentionManager] = None,
                 ) -> ParadigmResult:
     """Speculative (PS-)DSWP over multithreaded transactions (Figure 3).
 
@@ -453,11 +492,11 @@ def run_ps_dswp(workload: Workload, config: Optional[MachineConfig] = None,
     scheduler = _make_scheduler(system, interrupts, executor_factory)
     for tid, program in build().items():
         scheduler.add_thread(tid, core=tid % num_cores, program=program)
-    recoveries, degraded = _run_with_recovery(
-        scheduler, system,
-        lambda serial=False: build(system.stats.committed, serial))
-    return _result(workload, paradigm, system, scheduler, recoveries,
-                   degraded)
+    outcome = _run_with_recovery(
+        scheduler, system, workload,
+        lambda serial=False: build(system.stats.committed, serial),
+        manager=manager)
+    return _result(workload, paradigm, system, scheduler, outcome)
 
 
 def run_dswp(workload: Workload, config: Optional[MachineConfig] = None,
@@ -489,4 +528,5 @@ def run_workload(workload: Workload, config: Optional[MachineConfig] = None,
     runner = _PARADIGMS[name]
     if name == "Sequential":
         kwargs.pop("sla_enabled", None)
+        kwargs.pop("manager", None)
     return runner(workload, config, **kwargs)

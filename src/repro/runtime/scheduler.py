@@ -99,6 +99,25 @@ class Scheduler:
                 thread.blocked_produce = None
                 thread.pending_value = None
 
+    def stall_all(self, cycles: int) -> None:
+        """Advance every thread and core clock by ``cycles``.
+
+        Models a machine-wide recovery stall — the contention manager's
+        backoff delay between a transaction abort and the next speculative
+        attempt.  Charging all clocks equally keeps relative thread timing
+        (and therefore the conflict-detection interleaving) deterministic.
+        """
+        if cycles <= 0:
+            return
+        for thread in self.threads:
+            thread.clock += cycles
+        for core in self._core_clock:
+            self._core_clock[core] += cycles
+
+    def now(self) -> int:
+        """The latest per-thread clock (current machine time)."""
+        return max((t.clock for t in self.threads), default=0)
+
     # ------------------------------------------------------------------
 
     def run(self) -> RunResult:

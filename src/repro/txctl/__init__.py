@@ -1,0 +1,73 @@
+"""``repro.txctl`` — contention management and abort recovery.
+
+The paper's hardware tells the runtime *that* an MTX aborted (lazy
+commit/abort, section 4.4; overflow aborts, section 5.4).  This package
+is the software layer that decides what to do about it:
+
+``causes``
+    The abort taxonomy — every abort is classified at its source as
+    CONFLICT / CAPACITY_OVERFLOW / WRONG_PATH / INTERRUPT / EXPLICIT.
+``policies``
+    Pluggable retry policies: immediate retry, exponential backoff with
+    deterministic VID-keyed jitter, capacity-aware (no retry on repeat
+    capacity aborts), and lemming avoidance (delay while the fallback
+    lock is held).
+``fallback``
+    The serial fallback: non-speculative re-execution under a global
+    lock — guaranteed forward progress, preserving MTX atomicity.
+``livelock``
+    Sliding-window commit/abort-ratio monitoring that *escalates*
+    (backoff -> serialize -> fallback) instead of raising.
+``stats``
+    Per-VID and per-cause counters, exported through
+    ``SystemStats.contention`` into Table 1 and the stats dump.
+``manager``
+    The :class:`ContentionManager` facade the runtime consults on every
+    abort.
+
+``experiments/contention_sweep.py`` compares the policies head-to-head
+on a high-conflict linked-list workload.
+"""
+
+from .causes import AbortCause, AbortEvent, classify, event_from_exception
+from .fallback import FallbackLock, SerialFallback
+from .livelock import EscalationLevel, LivelockDetector
+from .manager import ContentionManager
+from .policies import (
+    POLICIES,
+    Action,
+    CapacityAware,
+    ExponentialBackoff,
+    ImmediateRetry,
+    LemmingAvoidance,
+    PolicyContext,
+    RetryDecision,
+    RetryPolicy,
+    deterministic_jitter,
+    make_policy,
+)
+from .stats import ContentionStats
+
+__all__ = [
+    "Action",
+    "AbortCause",
+    "AbortEvent",
+    "CapacityAware",
+    "ContentionManager",
+    "ContentionStats",
+    "EscalationLevel",
+    "ExponentialBackoff",
+    "FallbackLock",
+    "ImmediateRetry",
+    "LemmingAvoidance",
+    "LivelockDetector",
+    "POLICIES",
+    "PolicyContext",
+    "RetryDecision",
+    "RetryPolicy",
+    "SerialFallback",
+    "classify",
+    "deterministic_jitter",
+    "event_from_exception",
+    "make_policy",
+]

@@ -1,0 +1,82 @@
+"""Per-VID / per-cause contention statistics.
+
+One :class:`ContentionStats` instance rides inside
+:class:`~repro.core.stats.SystemStats` (``stats.contention``), so every
+abort the system records is broken down by :class:`~repro.txctl.causes.
+AbortCause` and by the VID that detected it, and every recovery decision
+the :class:`~repro.txctl.manager.ContentionManager` takes is counted.
+``experiments/table1_stats.py`` and ``experiments/contention_sweep.py``
+report these columns; ``experiments/statsdump.py`` dumps them raw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .causes import AbortCause, AbortEvent
+
+
+@dataclass
+class ContentionStats:
+    """Abort-cause and recovery-decision counters for one system run."""
+
+    #: Total classified aborts (matches ``SystemStats.aborted`` when every
+    #: abort goes through the classifying paths).
+    aborts: int = 0
+    #: Abort counts keyed by cause value (``"conflict"``, ``"capacity"``…).
+    by_cause: Dict[str, int] = field(default_factory=dict)
+    #: Abort counts keyed by the detecting VID.
+    by_vid: Dict[int, int] = field(default_factory=dict)
+    #: Abort counts keyed by ``(vid, cause value)`` — the repeat-capacity
+    #: detection of :class:`~repro.txctl.policies.CapacityAware` reads this.
+    by_vid_cause: Dict[Tuple[int, str], int] = field(default_factory=dict)
+    #: Speculative retries granted by the active policy.
+    retries: int = 0
+    #: Total delay cycles injected by backoff decisions.
+    backoff_cycles: int = 0
+    #: Recoveries restarted in serialised (one-TX-in-flight) mode.
+    serialized_recoveries: int = 0
+    #: Times the runtime entered the non-speculative serial fallback.
+    fallback_entries: int = 0
+    #: Iterations completed under the serial fallback's global lock.
+    fallback_iterations: int = 0
+    #: Escalations announced by the livelock detector, keyed by level name.
+    escalations: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_abort(self, vid: int, cause: AbortCause) -> None:
+        self.aborts += 1
+        key = cause.value
+        self.by_cause[key] = self.by_cause.get(key, 0) + 1
+        self.by_vid[vid] = self.by_vid.get(vid, 0) + 1
+        vc = (vid, key)
+        self.by_vid_cause[vc] = self.by_vid_cause.get(vc, 0) + 1
+
+    def record_event(self, event: AbortEvent) -> None:
+        self.record_abort(event.vid, event.cause)
+
+    def record_escalation(self, level_name: str) -> None:
+        self.escalations[level_name] = self.escalations.get(level_name, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def cause_count(self, cause: AbortCause) -> int:
+        return self.by_cause.get(cause.value, 0)
+
+    def vid_cause_count(self, vid: int, cause: AbortCause) -> int:
+        return self.by_vid_cause.get((vid, cause.value), 0)
+
+    def cause_summary(self) -> str:
+        """Compact ``cause=count`` listing in taxonomy order, for tables."""
+        parts = []
+        for cause in AbortCause:
+            count = self.by_cause.get(cause.value, 0)
+            if count:
+                parts.append(f"{cause.value}={count}")
+        return " ".join(parts) if parts else "-"

@@ -4,6 +4,7 @@ from .alvinn import AlvinnWorkload
 from .base import Workload
 from .bzip2 import Bzip2Workload
 from .common import Lcg, Region, calibrated_executor_factory, executor_factory_for
+from .contended import CapacityHogWorkload, HighContentionListWorkload
 from .crafty import CraftyWorkload
 from .gzip import GzipWorkload
 from .hmmer import HmmerWorkload
@@ -25,7 +26,9 @@ __all__ = [
     "AlvinnWorkload",
     "BENCHMARK_NAMES",
     "Bzip2Workload",
+    "CapacityHogWorkload",
     "CraftyWorkload",
+    "HighContentionListWorkload",
     "GzipWorkload",
     "HmmerWorkload",
     "IspellWorkload",

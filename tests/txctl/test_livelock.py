@@ -1,0 +1,61 @@
+"""Livelock detector: windowed ratios and monotone escalation."""
+
+import pytest
+
+from repro.txctl import EscalationLevel, LivelockDetector
+
+
+class TestEscalation:
+    def test_quiet_below_min_events(self):
+        detector = LivelockDetector(min_events=4)
+        for _ in range(3):
+            assert detector.observe(False) is EscalationLevel.NORMAL
+
+    def test_progress_keeps_level_normal(self):
+        detector = LivelockDetector(window=8, min_events=4)
+        for _ in range(8):
+            assert detector.observe(True) is EscalationLevel.NORMAL
+
+    def test_full_window_of_stalls_reaches_fallback(self):
+        detector = LivelockDetector(window=8, min_events=4)
+        level = EscalationLevel.NORMAL
+        for _ in range(8):
+            level = detector.observe(False)
+        assert level is EscalationLevel.FALLBACK
+
+    def test_half_stalled_window_serializes(self):
+        detector = LivelockDetector(window=8, min_events=4,
+                                    fallback_ratio=0.9)
+        for progressed in [True, False] * 4:
+            detector.observe(progressed)
+        assert detector.level is EscalationLevel.SERIALIZE
+
+    def test_monotone_despite_later_progress(self):
+        detector = LivelockDetector(window=4, min_events=2)
+        for _ in range(4):
+            detector.observe(False)
+        assert detector.level is EscalationLevel.FALLBACK
+        for _ in range(10):
+            detector.observe(True)
+        assert detector.level is EscalationLevel.FALLBACK
+
+    def test_reset_restores_pristine_state(self):
+        detector = LivelockDetector(window=4, min_events=2)
+        for _ in range(4):
+            detector.observe(False)
+        detector.reset()
+        assert detector.level is EscalationLevel.NORMAL
+        assert detector.events_seen() == 0
+        assert detector.no_progress_ratio == 0.0
+
+    def test_ratio_counts_window_only(self):
+        detector = LivelockDetector(window=4, min_events=2)
+        for _ in range(4):
+            detector.observe(False)
+        for _ in range(4):
+            detector.observe(True)
+        assert detector.no_progress_ratio == 0.0
+
+    def test_misordered_ratios_rejected(self):
+        with pytest.raises(ValueError):
+            LivelockDetector(backoff_ratio=0.9, serialize_ratio=0.5)

@@ -1,0 +1,116 @@
+"""Retry/backoff policies: determinism, cause sensitivity, composition."""
+
+import pytest
+
+from repro.txctl import (
+    Action,
+    AbortCause,
+    AbortEvent,
+    CapacityAware,
+    ExponentialBackoff,
+    ImmediateRetry,
+    LemmingAvoidance,
+    POLICIES,
+    PolicyContext,
+    deterministic_jitter,
+    make_policy,
+)
+
+
+def _event(cause=AbortCause.CONFLICT, vid=1):
+    return AbortEvent(vid=vid, cause=cause)
+
+
+class TestJitter:
+    def test_deterministic(self):
+        assert deterministic_jitter(3, 2, 64) == deterministic_jitter(3, 2, 64)
+
+    def test_bounded_by_spread(self):
+        for vid in range(8):
+            for attempt in range(1, 6):
+                assert 0 <= deterministic_jitter(vid, attempt, 32) < 32
+
+    def test_zero_spread_is_zero(self):
+        assert deterministic_jitter(5, 1, 0) == 0
+
+    def test_distinct_vids_desynchronise(self):
+        delays = {deterministic_jitter(vid, 1, 4096) for vid in range(8)}
+        assert len(delays) > 1
+
+
+class TestImmediateRetry:
+    def test_always_retries_with_no_delay(self):
+        decision = ImmediateRetry().decide(_event(), PolicyContext())
+        assert decision.action is Action.RETRY
+        assert decision.delay == 0
+
+
+class TestExponentialBackoff:
+    def test_delay_doubles_per_attempt(self):
+        policy = ExponentialBackoff(base=32, factor=2, jitter=0)
+        delays = [policy.backoff_cycles(vid=1, attempts=a)
+                  for a in range(1, 5)]
+        assert delays == [32, 64, 128, 256]
+
+    def test_ceiling_clamps(self):
+        policy = ExponentialBackoff(base=32, ceiling=100, jitter=0)
+        assert policy.backoff_cycles(vid=1, attempts=10) == 100
+
+    def test_huge_attempt_counts_do_not_overflow(self):
+        policy = ExponentialBackoff(jitter=0)
+        assert policy.backoff_cycles(vid=1, attempts=10_000) == 4096
+
+    def test_two_instances_agree(self):
+        a = ExponentialBackoff().decide(
+            _event(vid=5), PolicyContext(vid_attempts=3))
+        b = ExponentialBackoff().decide(
+            _event(vid=5), PolicyContext(vid_attempts=3))
+        assert a.delay == b.delay
+
+
+class TestCapacityAware:
+    def test_first_capacity_abort_retries(self):
+        policy = CapacityAware()
+        decision = policy.decide(_event(AbortCause.CAPACITY_OVERFLOW),
+                                 PolicyContext(cause_attempts=1))
+        assert decision.action is Action.RETRY
+
+    def test_repeat_capacity_abort_goes_to_fallback(self):
+        policy = CapacityAware()
+        decision = policy.decide(_event(AbortCause.CAPACITY_OVERFLOW),
+                                 PolicyContext(cause_attempts=2))
+        assert decision.action is Action.FALLBACK
+
+    def test_conflicts_delegate_to_inner(self):
+        policy = CapacityAware(inner=ImmediateRetry())
+        decision = policy.decide(_event(AbortCause.CONFLICT),
+                                 PolicyContext(cause_attempts=5))
+        assert decision.action is Action.RETRY
+        assert decision.delay == 0
+
+
+class TestLemmingAvoidance:
+    def test_delays_retry_while_lock_held(self):
+        policy = LemmingAvoidance(lock_hold_estimate=2048)
+        decision = policy.decide(
+            _event(), PolicyContext(fallback_lock_held=True))
+        assert decision.action is Action.RETRY
+        assert decision.delay >= 2048
+
+    def test_delegates_when_lock_free(self):
+        policy = LemmingAvoidance(inner=ImmediateRetry())
+        decision = policy.decide(
+            _event(), PolicyContext(fallback_lock_held=False))
+        assert decision.delay == 0
+
+
+class TestRegistry:
+    def test_every_registered_policy_instantiates(self):
+        for name in POLICIES:
+            policy = make_policy(name)
+            decision = policy.decide(_event(), PolicyContext())
+            assert isinstance(decision.action, Action)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("optimism")
