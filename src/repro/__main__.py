@@ -134,6 +134,11 @@ def main(argv=None) -> int:
                        help="workload size multiplier (default 1.0)")
         p.set_defaults(artifact=name)
 
+    p = sub.add_parser(
+        "bench", add_help=False,
+        help="measure simulator wall-clock throughput (BENCH_hotpath.json)")
+    p.set_defaults(command="bench")
+
     p = sub.add_parser("run", help="run one benchmark under one system")
     p.add_argument("benchmark", choices=BENCHMARK_NAMES)
     p.add_argument("--system", default="hmtx",
@@ -145,6 +150,12 @@ def main(argv=None) -> int:
     p.add_argument("--stats", action="store_true",
                    help="print the full statistics dump")
 
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["bench"]:
+        # bench owns its full flag set (and --help) — hand over directly.
+        from .experiments.bench import main as bench_main
+        return bench_main(argv[1:])
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)

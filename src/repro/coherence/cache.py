@@ -11,20 +11,33 @@ the per-cache ``LC_VID`` register and flash-setting the per-line CB/AB bits;
 the actual Figure 6/7 transition of a line is applied the next time that
 line is touched or chosen as an eviction victim
 (:meth:`VersionedCache.process_lazy`).
+
+Fast-path layer (DESIGN.md, "Fast-path indexing") — pure implementation
+optimisations, invisible to the modelled protocol:
+
+* an **event epoch** bumped on every commit/abort/reset broadcast; a line
+  stamped with the current epoch provably has no pending lazy events, so
+  :meth:`process_lazy` returns without replaying anything;
+* a **per-base version index** (``line address -> [versions]``), so
+  :meth:`versions`/:meth:`lookup` touch only the versions of the requested
+  line instead of scanning the whole set;
+* maintained **snoop-filter counters**: the number of resident speculative
+  lines (Figure 9 footprint) and of live ``S-M(modVID>0)`` lines (the
+  section 5.4 "speculatively modified" assertion), kept exact through the
+  :meth:`~repro.coherence.line.CacheLine.retag` mutation funnel;
+* an optional **presence listener** through which the hierarchy maintains
+  its ``address -> holding caches`` map, replacing scan-every-cache snoops
+  with index lookups.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
 
 from .line import CacheLine
 from .protocol import abort_transition, commit_transition, reset_transition, version_hits
-from .states import (
-    CLEAN_STATES,
-    State,
-    is_speculative,
-)
+from .states import State
 from .vid import CascadedComparator
 
 
@@ -53,20 +66,25 @@ _PRIORITY_SPEC_SHARED = 3       # S-S: silently droppable peer copies
 _PRIORITY_SPEC_OVERFLOWABLE = 4  # S-O with modVID == 0: may go to memory
 _PRIORITY_SPEC_PINNED = 5        # eviction past the LLC aborts
 
+# Precomputed per-state priority (S-O is the one state whose class also
+# depends on modVID; victim_priority special-cases it).
+State.INVALID.victim_class = _PRIORITY_INVALID
+State.SHARED.victim_class = _PRIORITY_CLEAN_NONSPEC
+State.EXCLUSIVE.victim_class = _PRIORITY_CLEAN_NONSPEC
+State.OWNED.victim_class = _PRIORITY_DIRTY_NONSPEC
+State.MODIFIED.victim_class = _PRIORITY_DIRTY_NONSPEC
+State.SS.victim_class = _PRIORITY_SPEC_SHARED
+State.SO.victim_class = _PRIORITY_SPEC_PINNED
+State.SM.victim_class = _PRIORITY_SPEC_PINNED
+State.SE.victim_class = _PRIORITY_SPEC_PINNED
+
 
 def victim_priority(line: CacheLine) -> int:
     """Eviction priority class of a line (lower evicts first)."""
-    if line.state is State.INVALID:
-        return _PRIORITY_INVALID
-    if not line.is_speculative():
-        if line.state in CLEAN_STATES:
-            return _PRIORITY_CLEAN_NONSPEC
-        return _PRIORITY_DIRTY_NONSPEC
-    if line.state is State.SS:
-        return _PRIORITY_SPEC_SHARED
-    if line.state is State.SO and line.mod_vid == 0:
+    state = line.state
+    if state is State.SO and line.mod_vid == 0:
         return _PRIORITY_SPEC_OVERFLOWABLE
-    return _PRIORITY_SPEC_PINNED
+    return state.victim_class
 
 
 class VersionedCache:
@@ -101,27 +119,115 @@ class VersionedCache:
         self.lc_vid = 0
         self.stats = CacheStats()
         self.comparator = CascadedComparator(bits=vid_bits)
-        self._sets: Dict[int, List[CacheLine]] = {
-            i: [] for i in range(self.num_sets)
-        }
+        #: Set lists, allocated on first touch (a 32 MB L2 has 16 k sets;
+        #: most runs touch a handful).
+        self._sets: Dict[int, List[CacheLine]] = {}
         self._tick = 0
         #: LC_VID snapshots at each abort broadcast (lazy abort processing).
         self._abort_history: List[int] = []
+        # -- fast-path state ------------------------------------------------
+        #: Event epoch: bumped on every commit/abort/reset broadcast.
+        self._epoch = 0
+        #: Epoch at which each set last had *every* line lazily processed.
+        self._set_epochs: Dict[int, int] = {}
+        #: line address -> resident versions, in set-list (insertion) order.
+        self._by_base: Dict[int, List[CacheLine]] = {}
+        #: Maintained counters backing the snoop filters.
+        self._spec_lines = 0
+        self._sm_live = 0
+        #: Hierarchy hook: called ``(cache, base, present)`` when this cache
+        #: gains its first / loses its last version of a line address.
+        self.presence_listener: Optional[Callable] = None
+        # Precomputed address masks (power-of-two geometry is the norm;
+        # anything else falls back to div/mod).
+        if line_size & (line_size - 1) == 0:
+            self._offset_mask = line_size - 1
+            self._line_shift = line_size.bit_length() - 1
+        else:
+            self._offset_mask = None
+            self._line_shift = None
+        self._index_mask = (self.num_sets - 1
+                            if self.num_sets & (self.num_sets - 1) == 0
+                            else None)
 
     # ------------------------------------------------------------------
     # Addressing helpers
     # ------------------------------------------------------------------
 
     def line_addr(self, addr: int) -> int:
+        mask = self._offset_mask
+        if mask is not None:
+            return addr & ~mask
         return addr - (addr % self.line_size)
 
     def set_index(self, addr: int) -> int:
         """Set index depends only on the address, never on VIDs (4.1)."""
+        if self._offset_mask is not None and self._index_mask is not None:
+            return (addr >> self._line_shift) & self._index_mask
         return (self.line_addr(addr) // self.line_size) % self.num_sets
 
     def _touch(self, line: CacheLine) -> None:
         self._tick += 1
         line.lru_tick = self._tick
+
+    def _set_list(self, index: int) -> List[CacheLine]:
+        lines = self._sets.get(index)
+        if lines is None:
+            lines = self._sets[index] = []
+        return lines
+
+    # ------------------------------------------------------------------
+    # Index / filter maintenance
+    # ------------------------------------------------------------------
+
+    def _index_add(self, line: CacheLine) -> None:
+        """Enter a line into the per-base index and filter counters."""
+        bucket = self._by_base.get(line.addr)
+        if bucket is None:
+            bucket = self._by_base[line.addr] = []
+            if self.presence_listener is not None:
+                self.presence_listener(self, line.addr, True)
+        bucket.append(line)
+        line.cache = self
+        state = line.state
+        if state.speculative:
+            self._spec_lines += 1
+            if state is State.SM and line.mod_vid > 0:
+                self._sm_live += 1
+
+    def _index_remove(self, line: CacheLine) -> None:
+        """Drop a line from the per-base index and filter counters."""
+        bucket = self._by_base[line.addr]
+        bucket.remove(line)
+        if not bucket:
+            del self._by_base[line.addr]
+            if self.presence_listener is not None:
+                self.presence_listener(self, line.addr, False)
+        line.cache = None
+        state = line.state
+        if state.speculative:
+            self._spec_lines -= 1
+            if state is State.SM and line.mod_vid > 0:
+                self._sm_live -= 1
+
+    def _on_retag(self, line: CacheLine, state: State, mod_vid: int) -> None:
+        """Adjust filter counters for an in-place tag change (line.retag)."""
+        old = line.state
+        if old.speculative != state.speculative:
+            self._spec_lines += 1 if state.speculative else -1
+        old_sm = old is State.SM and line.mod_vid > 0
+        new_sm = state is State.SM and mod_vid > 0
+        if old_sm != new_sm:
+            self._sm_live += 1 if new_sm else -1
+
+    @property
+    def speculative_lines(self) -> int:
+        """Resident speculative versions (maintained Figure 9 counter)."""
+        return self._spec_lines
+
+    def holds(self, addr: int) -> bool:
+        """O(1): does this cache hold any version of ``addr``'s line?"""
+        return self.line_addr(addr) in self._by_base
 
     # ------------------------------------------------------------------
     # Lazy commit/abort processing (section 5.3)
@@ -139,42 +245,55 @@ class VersionedCache:
         re-applying the current commit level to an up-to-date line is a
         no-op.
 
+        Fast path: a line stamped with the cache's current event epoch was
+        fully processed after the last broadcast, so the whole replay would
+        be a no-op and is skipped (no counter can differ — idempotent
+        commits bump no statistic, and ``seen_aborts`` is already current).
+
         Returns the line if it is still valid afterwards, or ``None`` if a
         transition invalidated it (in which case it has been removed from
         its set).
         """
-        if not line.is_speculative():
-            line.seen_aborts = len(self._abort_history)
+        epoch = self._epoch
+        if line.epoch == epoch:
             return line
-        while line.seen_aborts < len(self._abort_history):
-            lc_at_abort = self._abort_history[line.seen_aborts]
+        if not line.state.speculative:
+            line.seen_aborts = len(self._abort_history)
+            line.epoch = epoch
+            return line
+        history = self._abort_history
+        while line.seen_aborts < len(history):
+            lc_at_abort = history[line.seen_aborts]
             line.seen_aborts += 1
             state, (mod, high) = commit_transition(
                 line.state, line.mod_vid, line.high_vid, lc_at_abort)
             self.stats.lazy_commits_processed += 1
             state, (mod, high) = abort_transition(state, mod, high)
             self.stats.lazy_aborts_processed += 1
-            line.state, line.mod_vid, line.high_vid = state, mod, high
-            if line.state is State.INVALID:
+            line.retag(state, mod, high)
+            if state is State.INVALID:
                 self._remove(line)
                 return None
-            if not line.is_speculative():
-                line.seen_aborts = len(self._abort_history)
+            if not state.speculative:
+                line.seen_aborts = len(history)
+                line.epoch = epoch
                 return line
         state, (mod, high) = commit_transition(
             line.state, line.mod_vid, line.high_vid, self.lc_vid)
-        if state is not line.state or (mod, high) != line.vids:
+        if state is not line.state or mod != line.mod_vid or high != line.high_vid:
             self.stats.lazy_commits_processed += 1
-        line.state, line.mod_vid, line.high_vid = state, mod, high
-        if line.state is State.INVALID:
+            line.retag(state, mod, high)
+        if state is State.INVALID:
             self._remove(line)
             return None
+        line.epoch = epoch
         return line
 
     def _remove(self, line: CacheLine) -> None:
-        lines = self._sets[self.set_index(line.addr)]
-        if line in lines:
-            lines.remove(line)
+        if line.cache is not self:
+            return
+        self._set_list(self.set_index(line.addr)).remove(line)
+        self._index_remove(line)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -182,11 +301,19 @@ class VersionedCache:
 
     def versions(self, addr: int) -> List[CacheLine]:
         """All valid versions of ``addr`` present, lazily processed first."""
-        base = self.line_addr(addr)
+        bucket = self._by_base.get(self.line_addr(addr))
+        if not bucket:
+            return []
+        epoch = self._epoch
+        for line in bucket:
+            if line.epoch != epoch:
+                break
+        else:
+            # Every version already processed since the last broadcast:
+            # no replay, no removal possible.
+            return bucket[:]
         out = []
-        for line in list(self._sets[self.set_index(addr)]):
-            if line.addr != base:
-                continue
+        for line in list(bucket):
             processed = self.process_lazy(line)
             if processed is not None:
                 out.append(processed)
@@ -202,13 +329,26 @@ class VersionedCache:
         ``req_vid`` is the raw request VID; the LC_VID substitution for
         non-speculative requests happens here.
         """
-        eff = self.effective_vid(req_vid)
+        bucket = self._by_base.get(self.line_addr(addr))
+        if not bucket:
+            return None
+        if len(bucket) == 1:
+            line = bucket[0]
+            # Dominant case: one resident non-speculative, fully-processed
+            # version.  It hits any VID, engages no comparator, and cannot
+            # collide with a second hit — skip the generic scan.
+            if line.epoch == self._epoch and not line.state.speculative:
+                self._tick += 1
+                line.lru_tick = self._tick
+                return line
+        eff = self.lc_vid if req_vid == 0 else req_vid
         hit = None
+        comparator = self.comparator
         for line in self.versions(addr):
-            if line.is_speculative():
+            if line.state.speculative:
                 # Model the tag-check energy of the VID comparators (4.5).
-                self.comparator.compare(eff, line.mod_vid)
-                self.comparator.compare(eff, line.high_vid)
+                comparator.compare(eff, line.mod_vid)
+                comparator.compare(eff, line.high_vid)
             if version_hits(line.state, line.mod_vid, line.high_vid, eff):
                 if hit is not None:
                     raise AssertionError(
@@ -227,7 +367,23 @@ class VersionedCache:
         copy snoops a request it cannot serve, it asserts that the line was
         speculatively modified, so a memory response must arrive as
         ``S-O(0, reqVID + 1)``.
+
+        Fast path: no transition ever *creates* an ``S-M(modVID>0)`` line
+        out of another state, so when the maintained count of such lines is
+        zero and every resident version of the address is epoch-current
+        (i.e. lazy processing would be a no-op), the answer is False without
+        touching any line.
         """
+        bucket = self._by_base.get(self.line_addr(addr))
+        if not bucket:
+            return False
+        if self._sm_live == 0:
+            epoch = self._epoch
+            for line in bucket:
+                if line.epoch != epoch:
+                    break
+            else:
+                return False
         return any(
             line.state is State.SM and line.mod_vid > 0
             for line in self.versions(addr)
@@ -246,26 +402,40 @@ class VersionedCache:
         written back, passed down a level, overflowed to memory, or force
         an abort (section 5.4).
         """
-        lines = self._sets[self.set_index(line.addr)]
-        for existing in list(lines):
-            if existing.addr == line.addr and existing.mod_vid == line.mod_vid \
-                    and existing.is_speculative() == line.is_speculative():
-                lines.remove(existing)
+        spec = line.state.speculative
+        for existing in list(self._by_base.get(line.addr, ())):
+            if existing.mod_vid == line.mod_vid \
+                    and existing.state.speculative == spec:
+                self._remove(existing)
+        index = self.set_index(line.addr)
+        lines = self._set_list(index)
         evicted: List[CacheLine] = []
+        epoch = self._epoch
         while True:
             # Resolve pending lazy transitions first: committed/aborted
-            # versions may free slots without any real eviction.
-            for candidate in list(lines):
-                self.process_lazy(candidate)
+            # versions may free slots without any real eviction.  Skipped
+            # when the whole set is epoch-current — the replay would be a
+            # no-op for every line.
+            if self._set_epochs.get(index) != epoch:
+                for candidate in list(lines):
+                    self.process_lazy(candidate)
+                self._set_epochs[index] = epoch
             if len(lines) < self.assoc:
                 break
             victim = self._choose_victim(lines)
             lines.remove(victim)
+            self._index_remove(victim)
             evicted.append(victim)
-            self.stats.evictions += 1
+            if victim.state is not State.INVALID:
+                # An INVALID fallback victim never really left the
+                # hierarchy; counting it would pollute the Table 1 /
+                # ablation eviction numbers.
+                self.stats.evictions += 1
         # A freshly installed line has no pending events in *this* cache.
         line.seen_aborts = len(self._abort_history)
+        line.epoch = epoch
         lines.append(line)
+        self._index_add(line)
         self._touch(line)
         return evicted
 
@@ -304,6 +474,7 @@ class VersionedCache:
         simulator — see :meth:`process_lazy`.)
         """
         self.lc_vid = vid
+        self._epoch += 1
         self.stats.commit_broadcasts += 1
 
     def broadcast_abort(self) -> None:
@@ -315,6 +486,7 @@ class VersionedCache:
         paper's AB-bit scheme (see DESIGN.md).
         """
         self.stats.abort_broadcasts += 1
+        self._epoch += 1
         self._abort_history.append(self.lc_vid)
 
     def vid_reset(self) -> None:
@@ -326,16 +498,39 @@ class VersionedCache:
         ``LC_VID`` returns to 0.
         """
         self.stats.vid_resets += 1
+        self._epoch += 1
         for line in self.all_lines():
             processed = self.process_lazy(line)
             if processed is None:
                 continue
             new_state, (mod, high) = reset_transition(
                 processed.state, processed.mod_vid, processed.high_vid)
-            processed.state, processed.mod_vid, processed.high_vid = (
-                new_state, mod, high)
+            processed.retag(new_state, mod, high)
             processed.seen_aborts = 0
             if processed.state is State.INVALID:
                 self._remove(processed)
         self._abort_history.clear()
         self.lc_vid = 0
+
+    # ------------------------------------------------------------------
+    # Debug support
+    # ------------------------------------------------------------------
+
+    def check_index_integrity(self) -> None:
+        """Assert the fast-path index and counters match the set lists."""
+        by_base: Dict[int, List[CacheLine]] = {}
+        spec = sm = 0
+        for lines in self._sets.values():
+            for line in lines:
+                by_base.setdefault(line.addr, []).append(line)
+                assert line.cache is self, f"{line!r} lost its owner backref"
+                if line.state.speculative:
+                    spec += 1
+                    if line.state is State.SM and line.mod_vid > 0:
+                        sm += 1
+        recorded = {base: list(bucket) for base, bucket in self._by_base.items()}
+        assert by_base == recorded, f"{self.name}: per-base index diverged"
+        assert spec == self._spec_lines, (
+            f"{self.name}: speculative-line counter {self._spec_lines} != {spec}")
+        assert sm == self._sm_live, (
+            f"{self.name}: S-M filter counter {self._sm_live} != {sm}")

@@ -23,7 +23,7 @@ System-wide invariants maintained here (and checked by the test suite):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import MisspeculationError, SpeculativeOverflowError
 from ..txctl.causes import AbortCause
@@ -131,6 +131,29 @@ class MemoryHierarchy:
                 vid_bits=cfg.vid_bits)
         #: Simulated time at which the shared bus next becomes free.
         self._bus_free = 0
+        #: Presence (snoop-filter) map: line address -> caches holding any
+        #: version of it.  Maintained *exactly* via the per-cache presence
+        #: listeners — a cache appears iff it currently holds a version —
+        #: so snoops, invalidations and scrubs only touch holding caches
+        #: (DESIGN.md, "Fast-path indexing").
+        self._holders: Dict[int, Set[VersionedCache]] = {}
+        for cache in self._all_caches():
+            cache.presence_listener = self._on_presence
+
+    def _on_presence(self, cache: VersionedCache, base: int,
+                     present: bool) -> None:
+        """Presence-listener callback from the caches (first add/last drop)."""
+        if present:
+            holders = self._holders.get(base)
+            if holders is None:
+                holders = self._holders[base] = set()
+            holders.add(cache)
+        else:
+            holders = self._holders.get(base)
+            if holders is not None:
+                holders.discard(cache)
+                if not holders:
+                    del self._holders[base]
 
     def _bus_transaction(self, now: int) -> int:
         """Acquire the shared bus at time ``now``; returns wait + occupancy.
@@ -243,25 +266,34 @@ class MemoryHierarchy:
         return out
 
     def speculative_footprint_bytes(self) -> int:
-        """Bytes of speculative versions currently resident (Figure 9 aid)."""
-        return sum(
-            self.config.line_size
-            for cache in self._all_caches()
-            for line in cache.all_lines()
-            if line.is_speculative()
-        )
+        """Bytes of speculative versions currently resident (Figure 9 aid).
+
+        O(#caches): reads the maintained per-cache speculative-line
+        counters instead of walking every resident line.
+        """
+        return self.config.line_size * sum(
+            cache.speculative_lines for cache in self._all_caches())
 
     def check_invariants(self) -> None:
-        """Assert the system-wide protocol invariants (test support)."""
+        """Assert the system-wide protocol invariants (test support).
+
+        Also cross-checks the fast-path layer: the per-cache version
+        indices and filter counters, and the hierarchy's presence map, must
+        exactly mirror the set contents they summarise.
+        """
         latest_owners = {}
+        held: Dict[int, Set[VersionedCache]] = {}
         for cache in self._all_caches():
+            cache.check_index_integrity()
             for line in cache.all_lines():
+                held.setdefault(line.addr, set()).add(cache)
                 if line.state in (State.SM, State.SE):
                     if line.addr in latest_owners:
                         raise AssertionError(
                             f"two latest versions of 0x{line.addr:x}: "
                             f"{latest_owners[line.addr]} and {cache.name}")
                     latest_owners[line.addr] = cache.name
+        assert held == self._holders, "presence map diverged from contents"
 
     # ------------------------------------------------------------------
     # Core access machinery
@@ -315,28 +347,37 @@ class MemoryHierarchy:
         version that would have hit (S-S copies stay silent); otherwise
         memory responds, possibly via the section 5.4 overflow-retrieval
         path.
+
+        Snoop filter: only caches recorded as holding a version of the line
+        are consulted.  A cache with no version of the address answers no
+        snoop and undergoes no lazy processing, so skipping it is exact.
         """
         self.stats.bus_snoops += 1
         l1 = self.l1s[core]
+        base = l1.line_addr(addr)
         latency = self.config.l2_latency  # bus + L2 lookup window
         spec_modified_asserted = l1.has_latest_spec_version(addr)
-        for cache in self._peer_caches(core):
-            if cache.has_latest_spec_version(addr):
-                spec_modified_asserted = True
-            owner = cache.lookup(addr, vid)
-            if owner is None or owner.state is State.SS:
-                continue
-            self.stats.peer_transfers += 1
-            if self.overflow_table is not None and cache is self.overflow_table:
-                latency += cache.hit_latency
-                self.overflow_table.refills += 1
-            line = self._receive_from_owner(core, cache, owner, vid, kind)
-            return line, latency, cache.name
+        holders = self._holders.get(base)
+        if holders:
+            for cache in self._peer_caches(core):
+                if cache not in holders:
+                    continue
+                if cache.has_latest_spec_version(addr):
+                    spec_modified_asserted = True
+                owner = cache.lookup(addr, vid)
+                if owner is None or owner.state is State.SS:
+                    continue
+                self.stats.peer_transfers += 1
+                if self.overflow_table is not None \
+                        and cache is self.overflow_table:
+                    latency += cache.hit_latency
+                    self.overflow_table.refills += 1
+                line = self._receive_from_owner(core, cache, owner, vid, kind)
+                return line, latency, cache.name
         # No cache can serve the request: memory responds.
         self.stats.memory_fetches += 1
         latency += self.config.memory_latency
         data = self.memory.read_line(addr)
-        base = l1.line_addr(addr)
         eff = l1.effective_vid(vid)
         if spec_modified_asserted:
             # Section 5.4: an S-M copy asserted "speculatively modified" but
@@ -373,9 +414,9 @@ class MemoryHierarchy:
             # Plain non-speculative read sharing: MOESI read hit.
             data = owner.copy_data()
             if owner.state is State.MODIFIED:
-                owner.state = State.OWNED
+                owner.set_state(State.OWNED)
             elif owner.state is State.EXCLUSIVE:
-                owner.state = State.SHARED
+                owner.set_state(State.SHARED)
             line = CacheLine(owner.addr, State.SHARED, data)
             self._install(l1, line)
             return line
@@ -386,7 +427,7 @@ class MemoryHierarchy:
             if vid > 0:
                 new_state, (mod, high) = read_transition(
                     owner.state, owner.mod_vid, owner.high_vid, eff)
-                owner.state, owner.mod_vid, owner.high_vid = new_state, mod, high
+                owner.retag(new_state, mod, high)
             if owner.state in (State.SM, State.SE):
                 # The copy's window is capped just above the requesting VID:
                 # a strictly later VID's read must reach the owner to be
@@ -417,8 +458,7 @@ class MemoryHierarchy:
             return line
         plan = plan_new_version(owner.state, owner.mod_vid, owner.high_vid, eff)
         data = owner.copy_data()
-        owner.state = plan.old_state
-        owner.mod_vid, owner.high_vid = plan.old_vids
+        owner.retag(plan.old_state, *plan.old_vids)
         line = CacheLine(owner.addr, State.SM, data, *plan.new_vids)
         l1.stats.version_copies += 1
         self._install(l1, line)
@@ -441,7 +481,9 @@ class MemoryHierarchy:
                     self._upgrade(line)
                 new_state, (mod, high) = read_transition(
                     line.state, line.mod_vid, line.high_vid, eff)
-                line.state, line.mod_vid, line.high_vid = new_state, mod, high
+                if new_state is not line.state or mod != line.mod_vid \
+                        or high != line.high_vid:
+                    line.retag(new_state, mod, high)
             return AccessResult(line.data[word], latency, l1_hit, served_by,
                                 sla_required=sla_required)
         # Store path.
@@ -453,7 +495,7 @@ class MemoryHierarchy:
                 self._raise_misspeculation(line, eff)
             if line.state in (State.OWNED, State.SHARED):
                 self._upgrade(line)
-            line.state = State.MODIFIED
+            line.set_state(State.MODIFIED)
             line.data[word] = value
             return AccessResult(value, latency, l1_hit, served_by)
         if line.state in (State.OWNED, State.SHARED):
@@ -472,8 +514,7 @@ class MemoryHierarchy:
         new_line = CacheLine(line.addr, State.SM, line.copy_data(),
                              *plan.new_vids)
         new_line.data[word] = value
-        line.state = plan.old_state
-        line.mod_vid, line.high_vid = plan.old_vids
+        line.retag(plan.old_state, *plan.old_vids)
         l1.stats.version_copies += 1
         self._install(l1, new_line)
         return AccessResult(value, latency, l1_hit, served_by,
@@ -483,8 +524,8 @@ class MemoryHierarchy:
         """Invalidate peer copies so ``line`` becomes writable (O/S -> M/E)."""
         self.stats.bus_snoops += 1
         self._invalidate_nonspec_everywhere(line.addr, keep=line)
-        line.state = (State.MODIFIED if line.state is State.OWNED
-                      else State.EXCLUSIVE)
+        line.set_state(State.MODIFIED if line.state is State.OWNED
+                       else State.EXCLUSIVE)
 
     def _invalidate_nonspec_everywhere(self, addr: int,
                                        keep: Optional[CacheLine] = None) -> None:
@@ -497,8 +538,16 @@ class MemoryHierarchy:
         speculative owners (``S-M``/``S-O``/``S-E``) are never present on
         this path: a live latest version would have served the request
         itself instead of a non-speculative owner.
+
+        Only caches recorded in the presence map are visited; a cache with
+        no version of the line has nothing to invalidate or process.
         """
+        holders = self._holders.get(self.l2.line_addr(addr))
+        if not holders:
+            return
         for cache in self._all_caches():
+            if cache not in holders:
+                continue
             for line in cache.versions(addr):
                 if line is keep:
                     continue
@@ -512,9 +561,14 @@ class MemoryHierarchy:
         The speculative analogue of a MOESI upgrade: a write to a version
         must invalidate its silent read-only copies, otherwise they would
         keep serving the version's *pre-write* data.
+
+        Filtered through the presence map like every other snoop.
         """
         dropped = False
-        for cache in self._all_caches():
+        holders = self._holders.get(self.l2.line_addr(addr))
+        for cache in (self._all_caches() if holders else ()):
+            if cache not in holders:
+                continue
             for line in cache.versions(addr):
                 if line.state is State.SS and line.mod_vid == mod_vid:
                     cache.drop(line)

@@ -83,9 +83,9 @@ def version_hits(state: State, mod_vid: int, high_vid: int, req_vid: int) -> boo
     """
     if state is State.INVALID:
         return False
-    if not is_speculative(state):
+    if not state.speculative:
         return True
-    if state in LATEST_SPEC_STATES:
+    if state.latest_spec:
         return req_vid >= mod_vid
     # S-O / S-S: serves the window [modVID, highVID).
     return mod_vid <= req_vid < high_vid
@@ -100,14 +100,15 @@ def read_transition(state: State, mod_vid: int, high_vid: int,
     a dirty line becomes ``S-M(0, a)``, a clean line ``S-E(0, a)``
     (Figure 4; O/S follow the M/E path once exclusive access is acquired).
     """
-    if state in (State.MODIFIED, State.OWNED):
-        return State.SM, (0, req_vid)
-    if state in (State.EXCLUSIVE, State.SHARED):
-        return State.SE, (0, req_vid)
-    if state in LATEST_SPEC_STATES:
-        return state, (mod_vid, max(high_vid, req_vid))
-    if state in SUPERSEDED_SPEC_STATES:
+    if state.latest_spec:
+        high = high_vid if high_vid >= req_vid else req_vid
+        return state, (mod_vid, high)
+    if state.superseded_spec:
         return state, (mod_vid, high_vid)
+    if state is State.MODIFIED or state is State.OWNED:
+        return State.SM, (0, req_vid)
+    if state is State.EXCLUSIVE or state is State.SHARED:
+        return State.SE, (0, req_vid)
     raise ValueError(f"read cannot hit state {state}")
 
 
@@ -122,9 +123,9 @@ def write_outcome(state: State, mod_vid: int, high_vid: int,
     * ``req_vid < high_vid`` on a latest version — a logically-later load or
       store already touched the line (read-after-write / output hazard).
     """
-    if state in SUPERSEDED_SPEC_STATES:
+    if state.superseded_spec:
         return WriteOutcome.ABORT
-    if state in LATEST_SPEC_STATES:
+    if state.latest_spec:
         if req_vid < high_vid:
             return WriteOutcome.ABORT
         if req_vid == mod_vid:
@@ -174,7 +175,7 @@ def commit_transition(state: State, mod_vid: int, high_vid: int,
     ``modVID == commit_vid`` condition is what lets several consecutive
     commits be folded into a single lazy processing step (section 5.3).
     """
-    if not is_speculative(state):
+    if not state.speculative:
         return state, (mod_vid, high_vid)
     if commit_vid >= high_vid:
         if state is State.SM:
@@ -207,7 +208,7 @@ def abort_transition(state: State, mod_vid: int, high_vid: int) -> Tuple[State, 
     write.  Aborts are rare, so this is squarely within the paper's
     "push slowdowns to the rare abort case" philosophy.
     """
-    if not is_speculative(state):
+    if not state.speculative:
         return state, (mod_vid, high_vid)
     if mod_vid > 0:
         return State.INVALID, (0, 0)

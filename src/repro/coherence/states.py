@@ -64,14 +64,26 @@ SUPERSEDED_SPEC_STATES = frozenset({State.SO, State.SS})
 WRITABLE_STATES = frozenset({State.MODIFIED, State.EXCLUSIVE})
 
 
+# Fast-path flags: each State member carries its classification as plain
+# attributes, so the hot loops read ``state.speculative`` instead of hashing
+# enum members into a frozenset on every access (see DESIGN.md,
+# "Fast-path indexing").  The sets above remain the source of truth.
+for _state in State:
+    _state.speculative = _state in SPECULATIVE_STATES
+    _state.dirty = _state in DIRTY_STATES
+    _state.latest_spec = _state in LATEST_SPEC_STATES
+    _state.superseded_spec = _state in SUPERSEDED_SPEC_STATES
+del _state
+
+
 def is_speculative(state: State) -> bool:
     """True for the four HMTX speculative states."""
-    return state in SPECULATIVE_STATES
+    return state.speculative
 
 
 def is_dirty(state: State) -> bool:
     """True when a line in ``state`` must be written back before dropping."""
-    return state in DIRTY_STATES
+    return state.dirty
 
 
 def is_valid(state: State) -> bool:

@@ -67,7 +67,10 @@ class SystemStats:
     # ------------------------------------------------------------------
 
     def open_transaction(self, vid: int) -> OpenTransaction:
-        return self._open.setdefault(vid, OpenTransaction(vid))
+        tx = self._open.get(vid)
+        if tx is None:
+            tx = self._open[vid] = OpenTransaction(vid)
+        return tx
 
     def record_load(self, vid: int, addr: int, sla_sent: bool) -> None:
         tx = self.open_transaction(vid)

@@ -53,9 +53,13 @@ class HMTXSystem:
         self.last_committed = 0
         self.active_vids: Set[int] = set()
         self.committed_output: list = []
-        #: Lines marked by wrong-path loads in no-SLA mode, to attribute
-        #: the resulting aborts as *false* (SLA-preventable).
-        self._wrong_path_marks: Set[int] = set()
+        #: Lines marked by wrong-path loads in no-SLA mode (line address ->
+        #: highest marking VID), to attribute the resulting aborts as
+        #: *false* (SLA-preventable).  Entries are pruned once their
+        #: marking VID commits: a committed mark is architecturally real
+        #: and can no longer cause a false abort, so leaving it behind
+        #: would misattribute a genuine later conflict on the same line.
+        self._wrong_path_marks: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Thread management
@@ -148,6 +152,10 @@ class HMTXSystem:
         latency = self.hierarchy.commit(vid)
         self.active_vids.discard(vid)
         self.last_committed = vid
+        if self._wrong_path_marks:
+            self._wrong_path_marks = {
+                line: v for line, v in self._wrong_path_marks.items()
+                if v > vid}
         self.stats.record_commit(vid)
         self.sla.on_commit(vid)
         ctx = self.contexts[tid]
@@ -234,7 +242,9 @@ class HMTXSystem:
                 self.sla.record_wrong_path(addr, ctx.vid, would_mark)
             return value, latency
         result = self.hierarchy.load(ctx.core, addr, ctx.vid)
-        self._wrong_path_marks.add(addr - (addr % self.config.line_size))
+        line = addr - (addr % self.config.line_size)
+        if ctx.vid > self._wrong_path_marks.get(line, 0):
+            self._wrong_path_marks[line] = ctx.vid
         return result.value, result.latency
 
     def kernel_load(self, tid: int, addr: int) -> AccessResult:

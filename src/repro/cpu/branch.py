@@ -95,8 +95,12 @@ class CalibratedPredictor(BranchPredictor):
         return (self._state >> 11) / float(1 << 53)
 
     def predict(self, pc: int, taken: bool) -> bool:
-        mispredicted = self._next_unit() < self.rate
-        self.stats.predictions += 1
+        # _next_unit inlined: one call per simulated branch adds up.
+        state = (self._state * self._LCG_MULT + self._LCG_INC) & self._MASK
+        self._state = state
+        mispredicted = (state >> 11) / 9007199254740992.0 < self.rate
+        stats = self.stats
+        stats.predictions += 1
         if mispredicted:
-            self.stats.mispredictions += 1
+            stats.mispredictions += 1
         return mispredicted

@@ -82,30 +82,36 @@ class CoreExecutor:
         workload generator (meaningful for :class:`Load`).
         May raise :class:`~repro.errors.MisspeculationError`.
         """
-        self.stats.instructions += 1
+        stats = self.stats
+        stats.instructions += 1
         self._pc[tid] = self._pc.get(tid, 0) + 4
-        if isinstance(op, Work):
-            self.stats.instructions += max(0, op.cycles - 1)
-            return None, op.cycles * self.costs.work_unit
-        if isinstance(op, Load):
-            self.stats.loads += 1
+        # Identity dispatch on the concrete op class (the ISA is a closed
+        # set of final dataclasses), ordered by dynamic frequency.
+        cls = op.__class__
+        if cls is Work:
+            cycles = op.cycles
+            if cycles > 1:
+                stats.instructions += cycles - 1
+            return None, cycles * self.costs.work_unit
+        if cls is Load:
+            stats.loads += 1
             result = self.system.load(tid, op.addr, now=now)
             return result.value, result.latency
-        if isinstance(op, Store):
-            self.stats.stores += 1
+        if cls is Store:
+            stats.stores += 1
             result = self.system.store(tid, op.addr, op.value, now=now)
             return None, result.latency
-        if isinstance(op, Branch):
+        if cls is Branch:
             return None, self._execute_branch(tid, op)
-        if isinstance(op, BeginMTX):
+        if cls is BeginMTX:
             return None, self.system.begin_mtx(tid, op.vid)
-        if isinstance(op, CommitMTX):
+        if cls is CommitMTX:
             return None, self.system.commit_mtx(tid, op.vid)
-        if isinstance(op, AbortMTX):
+        if cls is AbortMTX:
             return None, self.system.abort_mtx(tid, op.vid)
-        if isinstance(op, InitMTX):
+        if cls is InitMTX:
             return None, self.system.init_mtx(tid, op.handler)
-        if isinstance(op, Output):
+        if cls is Output:
             self.system.output(tid, op.value)
             return None, 1
         raise TypeError(f"CoreExecutor cannot execute {op!r}")

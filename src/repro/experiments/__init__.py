@@ -13,6 +13,7 @@ Table 3       :func:`run_table3` / ``format_table3``  benchmarks/test_table3
 ============  =====================================  =====================
 """
 
+from .bench import check_regression, format_bench, run_bench, write_report
 from .contention_sweep import (
     ContentionSweepResult,
     format_contention_sweep,
@@ -59,4 +60,8 @@ __all__ = [
     "run_fig9",
     "run_table1",
     "run_table3",
+    "check_regression",
+    "format_bench",
+    "run_bench",
+    "write_report",
 ]

@@ -128,18 +128,62 @@ class Scheduler:
         live threads block on empty queues.
         """
         steps = 0
+        max_steps = self.max_steps
+        threads = self.threads
+        queues = self.queues
+        queue_op = self.system.config.op_costs.queue_op
         while True:
-            runnable = self._collect_runnable()
-            if runnable is None:
+            # Fused sweep: unblock every thread whose queue became ready
+            # (exactly what _collect_runnable does), while tracking the
+            # runnable thread with the smallest (clock, tid) — one pass,
+            # no intermediate lists.  This loop dominates simulator wall
+            # time, hence the hand-tuning.
+            best = None
+            best_clock = 0
+            best_tid = 0
+            any_live = False
+            for thread in threads:
+                if thread.done:
+                    continue
+                any_live = True
+                if thread.blocked_on is not None:
+                    entry = queues.get(thread.blocked_on).try_consume(
+                        thread.clock)
+                    if entry is None:
+                        continue
+                    value, ready_time = entry
+                    if ready_time > thread.clock:
+                        thread.clock = ready_time
+                    thread.clock += queue_op
+                    thread.pending_value = value
+                    thread.blocked_on = None
+                elif thread.blocked_produce is not None:
+                    queue_name, value = thread.blocked_produce
+                    queue = queues.get(queue_name)
+                    if queue.full():
+                        continue
+                    # Space appeared when a consumer popped; the producer's
+                    # clock advances to that moment (back-pressure stall).
+                    if queue.last_pop_time > thread.clock:
+                        thread.clock = queue.last_pop_time
+                    thread.clock += queue_op
+                    queue.produce(value, thread.clock)
+                    thread.blocked_produce = None
+                clock = thread.clock
+                if best is None or clock < best_clock or (
+                        clock == best_clock and thread.tid < best_tid):
+                    best = thread
+                    best_clock = clock
+                    best_tid = thread.tid
+            if not any_live:
                 break
-            if not runnable:
+            if best is None:
                 live = [t.tid for t in self.threads if not t.done]
                 raise DeadlockError(f"threads {live} all blocked on queues")
-            thread = min(runnable, key=lambda t: (t.clock, t.tid))
-            self._step(thread)
+            self._step(best)
             steps += 1
-            if steps > self.max_steps:
-                raise ReproError(f"exceeded {self.max_steps} scheduler steps")
+            if steps > max_steps:
+                raise ReproError(f"exceeded {max_steps} scheduler steps")
         thread_clocks = {t.tid: t.clock for t in self.threads}
         return RunResult(
             makespan=max(thread_clocks.values(), default=0),
@@ -151,7 +195,11 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def _collect_runnable(self) -> Optional[List[ThreadHandle]]:
-        """Unblock consumers whose queues filled; None when all are done."""
+        """Unblock consumers whose queues filled; None when all are done.
+
+        Reference implementation of the sweep that :meth:`run` fuses into
+        its selection loop; kept for tests and interactive debugging.
+        """
         live = [t for t in self.threads if not t.done]
         if not live:
             return None
@@ -188,34 +236,41 @@ class Scheduler:
             return
         thread.pending_value = None
         thread.ops_executed += 1
-        costs = self.system.config.op_costs
-        if isinstance(op, Produce):
+        cls = type(op)
+        if cls is not Produce and cls is not Consume:
+            # Hot path: plain core op — no queue interaction.
+            core = thread.core
+            core_clock = self._core_clock
+            clock = thread.clock
+            start = core_clock[core]
+            if clock > start:
+                start = clock
+            value, latency = self.executor.execute(thread.tid, op, now=start)
+            clock = start + latency
+            if self.interrupts is not None:
+                clock += self.interrupts.maybe_interrupt(
+                    self.system, thread.tid, core, clock)
+            thread.clock = clock
+            core_clock[core] = clock
+            thread.pending_value = value
+            return
+        if type(op) is Produce:
             queue = self.queues.get(op.queue)
             if queue.full():
                 thread.blocked_produce = (op.queue, op.value)
                 return
             start = max(thread.clock, self._core_clock[thread.core])
-            thread.clock = start + costs.queue_op
+            thread.clock = start + self.system.config.op_costs.queue_op
             self._core_clock[thread.core] = thread.clock
             queue.produce(op.value, thread.clock)
             return
-        if isinstance(op, Consume):
-            entry = self.queues.get(op.queue).try_consume(thread.clock)
-            if entry is None:
-                thread.blocked_on = op.queue
-                return
-            value, ready_time = entry
-            start = max(thread.clock, self._core_clock[thread.core], ready_time)
-            thread.clock = start + costs.queue_op
-            self._core_clock[thread.core] = thread.clock
-            thread.pending_value = value
+        # Consume (cls is Consume by elimination).
+        entry = self.queues.get(op.queue).try_consume(thread.clock)
+        if entry is None:
+            thread.blocked_on = op.queue
             return
-        start = max(thread.clock, self._core_clock[thread.core])
-        value, latency = self.executor.execute(thread.tid, op, now=start)
-        clock = start + latency
-        if self.interrupts is not None:
-            clock += self.interrupts.maybe_interrupt(
-                self.system, thread.tid, thread.core, clock)
-        thread.clock = clock
-        self._core_clock[thread.core] = clock
+        value, ready_time = entry
+        start = max(thread.clock, self._core_clock[thread.core], ready_time)
+        thread.clock = start + self.system.config.op_costs.queue_op
+        self._core_clock[thread.core] = thread.clock
         thread.pending_value = value

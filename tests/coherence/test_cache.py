@@ -70,8 +70,12 @@ class TestLookup:
     def test_duplicate_hit_is_a_protocol_bug(self):
         cache = make_cache()
         cache.install(line(0x40, State.SM, 1, 1))
-        # Force an illegal overlapping version in directly.
-        cache._sets[cache.set_index(0x40)].append(line(0x40, State.SM, 2, 2))
+        # Force an illegal overlapping version in directly (bypassing
+        # install's same-version replacement, but registering it in the
+        # set list and version index like any resident line).
+        rogue = line(0x40, State.SM, 2, 2)
+        cache._set_list(cache.set_index(0x40)).append(rogue)
+        cache._index_add(rogue)
         with pytest.raises(AssertionError):
             cache.lookup(0x40, 5)
 

@@ -1,0 +1,9 @@
+"""Shared pytest plumbing for the tier-1 suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens", action="store_true", default=False,
+        help="rewrite the checked-in fast-path equivalence goldens from "
+             "the current simulator behaviour instead of asserting "
+             "against them")
