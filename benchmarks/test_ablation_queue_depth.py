@@ -12,8 +12,8 @@ from repro.workloads import LinkedListWorkload
 
 
 def _cycles_with_throttle(max_live: int) -> int:
-    original = paradigms._MAX_LIVE_TRANSACTIONS
-    paradigms._MAX_LIVE_TRANSACTIONS = max_live
+    original = paradigms.base._MAX_LIVE_TRANSACTIONS
+    paradigms.base._MAX_LIVE_TRANSACTIONS = max_live
     try:
         workload = LinkedListWorkload(nodes=48, work_cycles=300)
         result = run_ps_dswp(workload)
@@ -21,7 +21,7 @@ def _cycles_with_throttle(max_live: int) -> int:
             workload.expected_result(result.system)
         return result.cycles, result.system.stats.aborted
     finally:
-        paradigms._MAX_LIVE_TRANSACTIONS = original
+        paradigms.base._MAX_LIVE_TRANSACTIONS = original
 
 
 def test_throttle_depth(benchmark):

@@ -1,0 +1,181 @@
+"""An ideal/oracle TM backend: the upper bound every real scheme chases.
+
+The oracle machine has perfect advance knowledge of conflicts, so it pays
+*none* of the costs that separate HMTX from SMTX: no per-access logging or
+validation (SMTX's tax), no VID-window stalls or capacity aborts (HMTX's).
+Speculative values still flow through per-VID buffers with uncommitted
+value forwarding, commits still happen atomically in VID order, and cache
+*timing* is still real (a plain non-speculative hierarchy) — only the TM
+bookkeeping is free and aborts never strike.
+
+Running a paradigm on ``get_backend("oracle")`` therefore yields the
+paradigm's intrinsic speedup curve: the gap between an oracle run and an
+HMTX/SMTX run of the same workload is exactly the cost of that scheme's
+conflict-detection machinery.  (Compare the "HyTM upper bound" harnesses
+of Alistarh et al. and Brown & Ravi.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from ..coherence.hierarchy import AccessResult, MemoryHierarchy
+from ..coherence.vid import VidSpace
+from ..core.config import MachineConfig
+from ..core.context import ThreadContext
+from ..core.stats import SystemStats
+from ..errors import MisspeculationError, TransactionUsageError
+from ..smtx.memory import SmtxMemory
+from ..smtx.system import _MemoryFacade
+from ..txctl.causes import AbortCause
+
+
+class OracleTMSystem:
+    """A multicore with a zero-overhead, never-aborting TM."""
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 sla_enabled: bool = True) -> None:
+        # SLAs exist to suppress false aborts; an oracle has none either way.
+        del sla_enabled
+        self.config = config or MachineConfig()
+        self.memory = SmtxMemory()
+        self.timing = MemoryHierarchy(self.config.hierarchy_config())
+        self.hierarchy = _MemoryFacade(self.memory, self.timing)
+        # Perfect hardware tracks unbounded VIDs; the 4.6 reset protocol
+        # never triggers.
+        self.vid_space = VidSpace(bits=30)
+        self.stats = SystemStats(line_size=self.config.line_size)
+        self.contexts: Dict[int, ThreadContext] = {}
+        self.active_vids: Set[int] = set()
+        self.last_committed = 0
+        self.committed_output: list = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def thread(self, tid: int, core: int) -> ThreadContext:
+        if tid not in self.contexts:
+            self.contexts[tid] = ThreadContext(tid=tid, core=core)
+        return self.contexts[tid]
+
+    def allocate_vid(self) -> int:
+        vid = self.vid_space.allocate()
+        self.active_vids.add(vid)
+        return vid
+
+    def ready_for_vid_reset(self) -> bool:
+        return False
+
+    def vid_reset(self) -> int:
+        raise TransactionUsageError("oracle VIDs are unbounded; no reset exists")
+
+    # ------------------------------------------------------------------
+    # The four MTX instructions
+    # ------------------------------------------------------------------
+
+    def begin_mtx(self, tid: int, vid: int) -> int:
+        if vid > 0:
+            if vid <= self.last_committed:
+                raise TransactionUsageError(
+                    f"beginMTX({vid}) after VID {self.last_committed} committed")
+            self.active_vids.add(vid)
+        self.contexts[tid].vid = vid
+        return self.config.op_costs.mtx_instruction
+
+    def init_mtx(self, tid: int, handler: Callable[..., Any]) -> int:
+        self.contexts[tid].recovery_handler = handler
+        return self.config.op_costs.mtx_instruction
+
+    def commit_mtx(self, tid: int, vid: int) -> int:
+        """Atomic in-order group commit; the oracle never needs to validate."""
+        if vid != self.last_committed + 1:
+            raise TransactionUsageError(
+                f"commitMTX({vid}) out of order; expected "
+                f"{self.last_committed + 1}")
+        if vid not in self.active_vids:
+            raise TransactionUsageError(f"commitMTX({vid}) of unknown VID")
+        self.memory.commit(vid)
+        self.active_vids.discard(vid)
+        self.last_committed = vid
+        self.stats.record_commit(vid)
+        ctx = self.contexts[tid]
+        for context in self.contexts.values():
+            self.committed_output.extend(context.release_output(vid))
+        if ctx.vid == vid:
+            ctx.vid = 0
+        return self.config.op_costs.mtx_instruction
+
+    def abort_mtx(self, tid: int, vid: int) -> int:
+        """Software-detected misspeculation still aborts (the one way)."""
+        self._abort()
+        raise MisspeculationError(f"explicit abortMTX({vid})", vid=vid,
+                                  cause=AbortCause.EXPLICIT)
+
+    # ------------------------------------------------------------------
+    # Memory operations
+    # ------------------------------------------------------------------
+
+    def load(self, tid: int, addr: int, now: int = 0) -> AccessResult:
+        ctx = self.contexts[tid]
+        value, _ = self._read_with_source(ctx.vid, addr)
+        latency = self.timing.load(ctx.core, addr, 0, now=now).latency
+        if ctx.vid > 0:
+            self.stats.record_load(ctx.vid, addr, sla_sent=False)
+        return AccessResult(value, latency, True, "oracle")
+
+    def store(self, tid: int, addr: int, value: int,
+              now: int = 0) -> AccessResult:
+        ctx = self.contexts[tid]
+        latency = self.timing.store(ctx.core, addr, 0, 0, now=now).latency
+        self.memory.write(ctx.vid, addr, value)
+        if ctx.vid > 0:
+            self.stats.record_store(ctx.vid, addr)
+        return AccessResult(value, latency, True, "oracle")
+
+    def wrong_path_load(self, tid: int, addr: int) -> Tuple[int, int]:
+        """Perfect hardware never lets a squashed load mark anything."""
+        ctx = self.contexts[tid]
+        self.stats.wrong_path_loads += 1
+        value = self.memory.read(ctx.vid, addr)
+        _, latency = self.timing.peek(ctx.core, addr, 0)
+        return value, latency
+
+    def kernel_load(self, tid: int, addr: int) -> AccessResult:
+        ctx = self.contexts[tid]
+        latency = self.timing.load(ctx.core, addr, 0).latency
+        return AccessResult(self.memory.read(0, addr), latency, True, "oracle")
+
+    def kernel_store(self, tid: int, addr: int, value: int) -> AccessResult:
+        ctx = self.contexts[tid]
+        latency = self.timing.store(ctx.core, addr, 0, 0).latency
+        self.memory.write(0, addr, value)
+        return AccessResult(value, latency, True, "oracle")
+
+    def output(self, tid: int, value: Any) -> None:
+        ctx = self.contexts[tid]
+        if ctx.vid > 0:
+            ctx.buffer_output(value)
+        else:
+            self.committed_output.append(value)
+
+    # ------------------------------------------------------------------
+
+    def _read_with_source(self, vid: int, addr: int) -> Tuple[int, int]:
+        """Read with uncommitted value forwarding (0 = committed source)."""
+        word = addr - (addr % self.memory.backing.word_size)
+        if vid > 0:
+            for buffer_vid in sorted(self.memory.live_vids(), reverse=True):
+                if buffer_vid <= vid and \
+                        word in self.memory._buffers[buffer_vid]:
+                    return self.memory._buffers[buffer_vid][word], buffer_vid
+        return self.memory.backing.read_word(word), 0
+
+    def _abort(self) -> None:
+        self.memory.abort_all()
+        self.stats.record_abort(explicit=True, cause=AbortCause.EXPLICIT)
+        for ctx in self.contexts.values():
+            ctx.discard_output()
+            ctx.vid = 0
+        self.active_vids.clear()
+        self.vid_space.rewind(self.last_committed + 1)

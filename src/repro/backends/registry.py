@@ -1,0 +1,58 @@
+"""Backend registry: named constructors for every TM implementation.
+
+``get_backend("hmtx")`` returns a factory building a fresh
+:class:`~repro.backends.protocol.TMBackend`; new backends plug in with
+:func:`register_backend` and immediately work everywhere a backend name
+is accepted — the paradigm executors, the sweep engine, and the CLI —
+without touching any executor code.
+
+Factories are registered lazily (import path + attribute) so importing
+this module pulls in no system implementation: ``repro.smtx`` imports
+the runtime package, which imports this registry, and eager imports
+would cycle.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, Tuple
+
+from .protocol import TMBackend
+
+#: A backend factory: ``factory(config=None, **kwargs) -> TMBackend``.
+BackendFactory = Callable[..., TMBackend]
+
+_FACTORIES: Dict[str, BackendFactory] = {}
+_LAZY: Dict[str, Tuple[str, str]] = {
+    "hmtx": ("repro.core.system", "HMTXSystem"),
+    "smtx": ("repro.smtx.system", "SMTXSystem"),
+    "oracle": ("repro.backends.oracle", "OracleTMSystem"),
+}
+
+
+def register_backend(name: str, factory: BackendFactory) -> BackendFactory:
+    """Register ``factory`` under ``name`` (replacing any lazy entry)."""
+    _FACTORIES[name] = factory
+    _LAZY.pop(name, None)
+    return factory
+
+
+def get_backend(name: str) -> BackendFactory:
+    """The factory registered under ``name``.
+
+    Raises ``KeyError`` with the available names for a typo'd backend.
+    """
+    if name in _FACTORIES:
+        return _FACTORIES[name]
+    if name in _LAZY:
+        module_name, attr = _LAZY[name]
+        factory = getattr(importlib.import_module(module_name), attr)
+        _FACTORIES[name] = factory
+        return factory
+    raise KeyError(f"unknown backend {name!r}; "
+                   f"choose from {sorted(backend_names())}")
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Every registered backend name."""
+    return tuple(sorted(set(_FACTORIES) | set(_LAZY)))

@@ -16,8 +16,16 @@ Table 3       :func:`run_table3` / ``format_table3``  benchmarks/test_table3
 from .bench import check_regression, format_bench, run_bench, write_report
 from .contention_sweep import (
     ContentionSweepResult,
+    contention_spec,
     format_contention_sweep,
     run_contention_sweep,
+)
+from .engine import (
+    RunRecord,
+    RunRequest,
+    SweepEngine,
+    SweepSpec,
+    execute_request,
 )
 from .fig1_timing import Fig1Result, format_fig1, run_fig1
 from .fig2_smtx_rwset import Fig2Result, format_fig2, run_fig2
@@ -32,6 +40,12 @@ from .table3_power import Table3Result, format_table3, run_table3
 __all__ = [
     "BenchmarkRunner",
     "ContentionSweepResult",
+    "RunRecord",
+    "RunRequest",
+    "SweepEngine",
+    "SweepSpec",
+    "contention_spec",
+    "execute_request",
     "Fig1Result",
     "Fig2Result",
     "Fig8Result",

@@ -28,14 +28,12 @@ import argparse
 import json
 import pathlib
 import platform
-import time
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
 
-from ..runtime.paradigms import run_ps_dswp, run_workload
-from ..txctl import ContentionManager, make_policy
-from ..workloads import make_benchmark
-from ..workloads.contended import CapacityHogWorkload, HighContentionListWorkload
+from ..workloads.contended import CapacityHogWorkload
 from ..workloads.suite import BENCHMARK_NAMES
+from .engine import RunRecord, RunRequest, SweepEngine, SweepSpec
 
 #: Pre-PR baseline: wall-clock seconds for the full-scale Figure 8 suite
 #: under the seed (pre-fast-path) simulator, measured on the machine that
@@ -53,57 +51,59 @@ DEFAULT_TOLERANCE = 0.30
 _QUICK_SCALE = 0.25
 
 
-def _contended_list() -> object:
-    workload = HighContentionListWorkload(nodes=24, rmw_per_iteration=2)
-    manager = ContentionManager(policy=make_policy("backoff"))
-    return run_ps_dswp(workload, manager=manager)
+def bench_spec(quick: bool) -> SweepSpec:
+    """(group-tagged) requests; group 'fig8' feeds the speedup gate.
 
-
-def _capacity_hog() -> object:
-    workload = CapacityHogWorkload(iterations=4)
-    manager = ContentionManager(policy=make_policy("capacity-aware"))
-    return run_ps_dswp(workload, config=CapacityHogWorkload.tiny_config(),
-                       manager=manager)
-
-
-def _workload_set(quick: bool) -> List[Tuple[str, str, Callable[[], object]]]:
-    """(group, name, runner) triples; group 'fig8' feeds the speedup gate."""
+    ``calibrated=False`` preserves the harness's historical timing basis
+    (no calibrated branch-mix executor); the contended workloads always
+    run at full size so their numbers stay mode-comparable.
+    """
     scale = _QUICK_SCALE if quick else 1.0
-    runs: List[Tuple[str, str, Callable[[], object]]] = [
-        ("fig8", name,
-         (lambda n=name: run_workload(make_benchmark(n, scale))))
+    requests: List[RunRequest] = [
+        RunRequest(workload=name, system="hmtx", scale=scale,
+                   calibrated=False)
         for name in BENCHMARK_NAMES
     ]
-    runs.append(("contended", "contended-list", _contended_list))
-    runs.append(("contended", "capacity-hog", _capacity_hog))
-    return runs
+    requests.append(RunRequest(
+        workload="contended-list", system="hmtx", paradigm="PS-DSWP",
+        policy="backoff", calibrated=False))
+    requests.append(RunRequest(
+        workload="capacity-hog", system="hmtx", paradigm="PS-DSWP",
+        policy="capacity-aware", machine=CapacityHogWorkload.tiny_config(),
+        calibrated=False))
+    return SweepSpec("bench", tuple(requests))
 
 
-def _measure(runner: Callable[[], object], repeat: int) -> Tuple[float, object]:
-    """Best-of-``repeat`` wall time; the result of the last run."""
-    best = float("inf")
-    result = None
-    for _ in range(max(1, repeat)):
-        start = time.perf_counter()
-        result = runner()
-        elapsed = time.perf_counter() - start
-        if elapsed < best:
-            best = elapsed
-    return best, result
+def _group_of(request: RunRequest) -> str:
+    return "contended" if request.workload in ("contended-list",
+                                               "capacity-hog") else "fig8"
 
 
-def run_bench(quick: bool = False, repeat: int = 1) -> Dict:
+def _best_of(engine: SweepEngine, request: RunRequest,
+             repeat: int) -> Tuple[float, RunRecord]:
+    """Best-of-``repeat`` wall time; the record of the first run.
+
+    Repeats are distinct requests (the ``repeat`` tag busts the engine
+    cache) so each one is a fresh simulation with its own wall clock.
+    """
+    tagged = [replace(request, repeat=k) for k in range(max(1, repeat))]
+    records = engine.run(tagged)
+    return min(r.wall_seconds for r in records), records[0]
+
+
+def run_bench(quick: bool = False, repeat: int = 1,
+              jobs: int = 1) -> Dict:
     """Run the suite and return one mode section of the report."""
+    engine = SweepEngine(jobs=jobs)
     workloads: Dict[str, Dict] = {}
-    for group, name, runner in _workload_set(quick):
-        wall, result = _measure(runner, repeat)
-        hstats = result.system.hierarchy.stats
-        ops = result.run.ops_executed
-        accesses = hstats.loads + hstats.stores
-        workloads[name] = {
-            "group": group,
+    for request in bench_spec(quick).requests:
+        wall, record = _best_of(engine, request, repeat)
+        ops = record.ops_executed
+        accesses = record.l1_accesses
+        workloads[request.workload] = {
+            "group": _group_of(request),
             "wall_seconds": round(wall, 4),
-            "simulated_cycles": result.cycles,
+            "simulated_cycles": record.cycles,
             "ops_executed": ops,
             "accesses": accesses,
             "sim_ops_per_sec": round(ops / wall) if wall > 0 else None,
@@ -219,6 +219,10 @@ def main(argv=None) -> int:
                         help=f"reduced scale ({_QUICK_SCALE}) for CI smoke")
     parser.add_argument("--repeat", type=int, default=1,
                         help="best-of-N wall-clock per workload (default 1)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="sweep-engine worker processes (default 1; "
+                             "parallel workers contend for CPU, so keep 1 "
+                             "when the wall numbers matter)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help=f"report file (default {DEFAULT_OUTPUT})")
     parser.add_argument("--baseline", default=None,
@@ -232,7 +236,8 @@ def main(argv=None) -> int:
                              f"(default {DEFAULT_TOLERANCE})")
     args = parser.parse_args(argv)
 
-    section = run_bench(quick=args.quick, repeat=args.repeat)
+    section = run_bench(quick=args.quick, repeat=args.repeat,
+                        jobs=args.jobs)
     output = pathlib.Path(args.output)
     baseline = pathlib.Path(args.baseline) if args.baseline else output
     ok, message = (True, "")

@@ -23,12 +23,11 @@ measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from ..core.config import MachineConfig
-from ..runtime.paradigms import ParadigmResult, run_ps_dswp
-from ..txctl import POLICIES, ContentionManager, make_policy
-from ..workloads.contended import CapacityHogWorkload, HighContentionListWorkload
+from ..txctl import POLICIES
+from ..workloads.contended import CapacityHogWorkload
+from .engine import RunRequest, SweepEngine, SweepSpec
 from .reporting import format_table
 
 
@@ -76,45 +75,47 @@ class ContentionSweepResult:
         raise KeyError((workload, policy))
 
 
-def _scenarios(scale: float) -> List[Tuple[str, object, Optional[MachineConfig]]]:
-    nodes = max(8, int(24 * scale))
-    hog_iters = max(2, int(4 * scale))
-    return [
-        ("contended-list",
-         lambda: HighContentionListWorkload(nodes=nodes, rmw_per_iteration=2),
-         None),
-        ("capacity-hog",
-         lambda: CapacityHogWorkload(iterations=hog_iters),
-         CapacityHogWorkload.tiny_config()),
-    ]
+def contention_spec(scale: float = 1.0,
+                    policies: Optional[List[str]] = None) -> SweepSpec:
+    """Every (workload, policy) cell of the sweep, in report order.
+
+    The adversarial workloads are engine-native (``build_workload`` sizes
+    them by ``scale``); the capacity hog pins the deliberately tiny
+    machine config through the request.
+    """
+    policies = policies or sorted(POLICIES)
+    requests: List[RunRequest] = []
+    for workload_name, machine in (("contended-list", None),
+                                   ("capacity-hog",
+                                    CapacityHogWorkload.tiny_config())):
+        for policy_name in policies:
+            requests.append(RunRequest(
+                workload=workload_name, system="hmtx", scale=scale,
+                paradigm="PS-DSWP", policy=policy_name, machine=machine))
+    return SweepSpec("contention", tuple(requests))
 
 
 def run_contention_sweep(scale: float = 1.0,
                          policies: Optional[List[str]] = None,
+                         engine: Optional[SweepEngine] = None,
                          ) -> ContentionSweepResult:
     """Run every scenario under every retry policy."""
-    policies = policies or sorted(POLICIES)
+    engine = engine or SweepEngine()
+    spec = contention_spec(scale, policies)
     cells: List[SweepCell] = []
-    for workload_name, make_workload, config in _scenarios(scale):
-        for policy_name in policies:
-            workload = make_workload()
-            manager = ContentionManager(policy=make_policy(policy_name))
-            result: ParadigmResult = run_ps_dswp(
-                workload, config=config, manager=manager)
-            contention = result.system.stats.contention
-            cells.append(SweepCell(
-                workload=workload_name,
-                policy=policy_name,
-                cycles=result.cycles,
-                recoveries=result.recoveries,
-                aborts_by_cause=dict(contention.by_cause),
-                backoff_cycles=contention.backoff_cycles,
-                serialized=result.extra["degraded_serial"],
-                fallback=result.extra["serial_fallback"],
-                fallback_iterations=contention.fallback_iterations,
-                correct=(workload.observed_result(result.system)
-                         == workload.expected_result(result.system)),
-            ))
+    for request, record in zip(spec.requests, engine.run_spec(spec)):
+        cells.append(SweepCell(
+            workload=record.workload,
+            policy=request.policy,
+            cycles=record.cycles,
+            recoveries=record.recoveries,
+            aborts_by_cause=dict(record.aborts_by_cause),
+            backoff_cycles=record.backoff_cycles,
+            serialized=record.degraded_serial,
+            fallback=record.serial_fallback,
+            fallback_iterations=record.fallback_iterations,
+            correct=record.correct,
+        ))
     return ContentionSweepResult(cells=cells)
 
 

@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 from ..smtx import ValidationMode, smtx_whole_program_speedup
 from ..workloads.suite import SMTX_COMPARABLE
+from .engine import SweepSpec
 from .reporting import BenchmarkRunner, format_table, geomean
 
 
@@ -33,24 +34,36 @@ class Fig2Result:
     geomean_substantial: float
 
 
+def fig2_spec(runner: BenchmarkRunner) -> SweepSpec:
+    """Every run Figure 2 needs, in report order."""
+    requests: list = []
+    for name in SMTX_COMPARABLE:
+        requests.append(runner.request(name, "sequential"))
+        requests.append(runner.request(name, "smtx-minimal"))
+        requests.append(runner.request(name, "smtx-substantial"))
+    return SweepSpec("fig2", tuple(requests))
+
+
 def run_fig2(scale: float = 1.0,
              runner: Optional[BenchmarkRunner] = None) -> Fig2Result:
     """Regenerate Figure 2 (the 6 SMTX-evaluated benchmarks)."""
     runner = runner or BenchmarkRunner(scale=scale)
+    runner.engine.run_spec(fig2_spec(runner))
     rows: Dict[str, Fig2Row] = {}
     for name in SMTX_COMPARABLE:
         seq = runner.sequential(name)
         minimal = runner.smtx(name, ValidationMode.MINIMAL)
         substantial = runner.smtx(name, ValidationMode.SUBSTANTIAL)
-        workload = runner.workload(name, f"smtx-{ValidationMode.MINIMAL.value}")
         hot_min = seq.cycles / minimal.cycles
         hot_sub = seq.cycles / substantial.cycles
+        # RunRecord carries the workload's hot-loop fraction, which is all
+        # the Amdahl projection reads.
         rows[name] = Fig2Row(
             benchmark=name,
             minimal_hot_loop=hot_min,
             substantial_hot_loop=hot_sub,
-            minimal_whole_program=smtx_whole_program_speedup(workload, hot_min),
-            substantial_whole_program=smtx_whole_program_speedup(workload, hot_sub),
+            minimal_whole_program=smtx_whole_program_speedup(minimal, hot_min),
+            substantial_whole_program=smtx_whole_program_speedup(minimal, hot_sub),
         )
     return Fig2Result(
         rows=rows,

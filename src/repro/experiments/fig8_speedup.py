@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 from ..smtx import ValidationMode
 from ..workloads.suite import BENCHMARK_NAMES, SMTX_COMPARABLE
+from .engine import SweepSpec
 from .reporting import BenchmarkRunner, format_table, geomean
 
 #: Published Figure 8 summary points.
@@ -39,10 +40,22 @@ class Fig8Result:
     geomean_smtx_comparable: float
 
 
+def fig8_spec(runner: BenchmarkRunner) -> SweepSpec:
+    """Every run Figure 8 needs, in report order."""
+    requests: list = []
+    for name in BENCHMARK_NAMES:
+        requests.append(runner.request(name, "sequential"))
+        requests.append(runner.request(name, "hmtx"))
+        if name in SMTX_COMPARABLE:
+            requests.append(runner.request(name, "smtx-minimal"))
+    return SweepSpec("fig8", tuple(requests))
+
+
 def run_fig8(scale: float = 1.0,
              runner: Optional[BenchmarkRunner] = None) -> Fig8Result:
     """Regenerate Figure 8's bars."""
     runner = runner or BenchmarkRunner(scale=scale)
+    runner.engine.run_spec(fig8_spec(runner))
     rows: Dict[str, Fig8Row] = {}
     for name in BENCHMARK_NAMES:
         hmtx = runner.speedup(name, "hmtx")

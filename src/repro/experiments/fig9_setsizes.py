@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..workloads.suite import BENCHMARK_NAMES
+from .engine import SweepSpec
 from .reporting import BenchmarkRunner, format_table, geomean
 
 #: Published Figure 9 summary points (kB per transaction).
@@ -36,18 +37,25 @@ class Fig9Result:
         return max(self.rows.values(), key=lambda r: r.combined_kb).benchmark
 
 
+def fig9_spec(runner: BenchmarkRunner) -> SweepSpec:
+    """Every run Figure 9 needs, in report order."""
+    return SweepSpec("fig9", tuple(runner.request(name, "hmtx")
+                                   for name in BENCHMARK_NAMES))
+
+
 def run_fig9(scale: float = 1.0,
              runner: Optional[BenchmarkRunner] = None) -> Fig9Result:
     """Regenerate Figure 9 from HMTX (max-validation) runs."""
     runner = runner or BenchmarkRunner(scale=scale)
+    runner.engine.run_spec(fig9_spec(runner))
     rows: Dict[str, Fig9Row] = {}
     for name in BENCHMARK_NAMES:
-        stats = runner.hmtx(name).system.stats
+        record = runner.hmtx(name)
         rows[name] = Fig9Row(
             benchmark=name,
-            read_set_kb=stats.avg_read_set_kb,
-            write_set_kb=stats.avg_write_set_kb,
-            combined_kb=stats.avg_combined_set_kb,
+            read_set_kb=record.avg_read_set_kb,
+            write_set_kb=record.avg_write_set_kb,
+            combined_kb=record.avg_combined_set_kb,
         )
     return Fig9Result(
         rows=rows,

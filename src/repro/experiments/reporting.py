@@ -1,21 +1,35 @@
-"""Shared helpers for the experiment drivers: runs, tables, geomeans."""
+"""Shared helpers for the experiment drivers: runs, tables, geomeans.
+
+:class:`BenchmarkRunner` is the drivers' facade over the sweep engine
+(:mod:`repro.experiments.engine`): it names runs the way the figures do
+("the HMTX run of 130.li", "SMTX with minimal validation") and returns
+plain :class:`~repro.experiments.engine.RunRecord` snapshots, cached so
+the figures share baselines.  Parallelism is the engine's business —
+construct the runner with ``jobs=N`` and batch work via
+:meth:`BenchmarkRunner.prefetch`.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from ..core.config import MachineConfig
-from ..runtime.paradigms import ParadigmResult, run_sequential, run_workload
-from ..smtx import ValidationMode, run_smtx
-from ..workloads import Workload, executor_factory_for, make_benchmark
+from ..smtx import ValidationMode
+from .engine import RunRecord, RunRequest, SweepEngine
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean (the paper's summary statistic)."""
+    """Geometric mean (the paper's summary statistic).
+
+    Raises ``ValueError`` on an empty or non-positive input: every caller
+    is summarising a benchmark set, and an empty set means the sweep lost
+    rows — returning 0.0 here used to let that bug masquerade as a
+    plausible "no speedup" figure.
+    """
     values = [v for v in values]
     if not values:
-        return 0.0
+        raise ValueError("geomean of an empty sequence")
     if any(v <= 0 for v in values):
         raise ValueError("geomean requires positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
@@ -41,54 +55,42 @@ class BenchmarkRunner:
 
     One Figure 8 sweep needs sequential + HMTX + SMTX runs of the same
     benchmark; Table 1, Figure 9 and Table 3 reuse those runs, so the
-    drivers share a runner.
+    drivers share a runner.  Execution happens in the underlying
+    :class:`~repro.experiments.engine.SweepEngine`; the cache key covers
+    workload name, system label, scale, *and* the machine-config digest,
+    so two runners sharing one engine at different scales or configs
+    never collide (the old (name, system) key did).
     """
 
     def __init__(self, scale: float = 1.0,
-                 config: Optional[MachineConfig] = None) -> None:
+                 config: Optional[MachineConfig] = None,
+                 jobs: int = 1,
+                 engine: Optional[SweepEngine] = None) -> None:
         self.scale = scale
         self.config = config
-        self._cache: Dict[tuple, ParadigmResult] = {}
-        self._workloads: Dict[tuple, Workload] = {}
+        self.engine = engine or SweepEngine(jobs=jobs)
 
-    def _fresh(self, name: str) -> Workload:
-        return make_benchmark(name, self.scale)
+    def request(self, name: str, system: str) -> RunRequest:
+        """The engine request for the (benchmark, system-label) pair."""
+        return RunRequest(workload=name, system=system, scale=self.scale,
+                          machine=self.config)
 
-    def workload(self, name: str, system: str) -> Workload:
-        """The workload instance used for the cached (name, system) run."""
-        return self._workloads[(name, system)]
+    def prefetch(self, requests: Sequence[RunRequest]) -> None:
+        """Execute a batch up front (in parallel when the engine has
+        ``jobs > 1``); later per-name accessors hit the cache."""
+        self.engine.run(requests)
 
-    def sequential(self, name: str) -> ParadigmResult:
-        return self._run(name, "sequential")
+    def run(self, name: str, system: str) -> RunRecord:
+        return self.engine.run_one(self.request(name, system))
 
-    def hmtx(self, name: str, sla_enabled: bool = True) -> ParadigmResult:
-        key = "hmtx" if sla_enabled else "hmtx-nosla"
-        return self._run(name, key, sla_enabled=sla_enabled)
+    def sequential(self, name: str) -> RunRecord:
+        return self.run(name, "sequential")
 
-    def smtx(self, name: str, mode: ValidationMode) -> ParadigmResult:
-        return self._run(name, f"smtx-{mode.value}", smtx_mode=mode)
+    def hmtx(self, name: str, sla_enabled: bool = True) -> RunRecord:
+        return self.run(name, "hmtx" if sla_enabled else "hmtx-nosla")
 
-    def _run(self, name: str, system: str,
-             sla_enabled: bool = True,
-             smtx_mode: Optional[ValidationMode] = None) -> ParadigmResult:
-        key = (name, system)
-        if key in self._cache:
-            return self._cache[key]
-        workload = self._fresh(name)
-        executor_factory = executor_factory_for(workload)
-        if system == "sequential":
-            result = run_sequential(workload, self.config,
-                                    executor_factory=executor_factory)
-        elif smtx_mode is not None:
-            result = run_smtx(workload, self.config, mode=smtx_mode,
-                              executor_factory=executor_factory)
-        else:
-            result = run_workload(workload, self.config,
-                                  sla_enabled=sla_enabled,
-                                  executor_factory=executor_factory)
-        self._workloads[key] = workload
-        self._cache[key] = result
-        return result
+    def smtx(self, name: str, mode: ValidationMode) -> RunRecord:
+        return self.run(name, f"smtx-{mode.value}")
 
     def speedup(self, name: str, system: str,
                 smtx_mode: Optional[ValidationMode] = None) -> float:
@@ -101,13 +103,13 @@ class BenchmarkRunner:
         elif system == "smtx":
             other = self.smtx(name, smtx_mode or ValidationMode.MINIMAL)
         else:
-            raise ValueError(f"unknown system {system!r}")
+            other = self.run(name, system)
         return seq.cycles / other.cycles
 
     def verify(self, name: str, system: str) -> bool:
         """Did the (name, system) run preserve sequential semantics?"""
-        workload = self._workloads[(name, system)]
-        result = self._cache[(name, system)]
-        expected = workload.expected_result(result.system)
-        observed = workload.observed_result(result.system)
-        return expected == observed
+        return self.run(name, system).correct
+
+    def records(self) -> List[RunRecord]:
+        """Every cached record, in execution order (for reports)."""
+        return list(self.engine._cache.values())

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..workloads.suite import BENCHMARK_NAMES, PAPER_TABLE1, Table1Row
+from .engine import SweepSpec
 from .reporting import BenchmarkRunner, format_table
 
 
@@ -41,42 +42,39 @@ class Table1Result:
     paper: Dict[str, Table1Row]
 
 
+def table1_spec(runner: BenchmarkRunner) -> SweepSpec:
+    """Every run Table 1 needs, in report order."""
+    requests: list = []
+    for name in BENCHMARK_NAMES:
+        requests.append(runner.request(name, "hmtx"))
+        requests.append(runner.request(name, "sequential"))
+    return SweepSpec("table1", tuple(requests))
+
+
 def run_table1(scale: float = 1.0,
                runner: Optional[BenchmarkRunner] = None) -> Table1Result:
     """Regenerate Table 1 from HMTX (max-validation) runs."""
     runner = runner or BenchmarkRunner(scale=scale)
+    runner.engine.run_spec(table1_spec(runner))
     measured: Dict[str, MeasuredRow] = {}
     for name in BENCHMARK_NAMES:
-        result = runner.hmtx(name)
-        workload = runner.workload(name, "hmtx")
-        stats = result.system.stats
+        record = runner.hmtx(name)
         # Branch mix comes from the dedicated parallel run's executor; the
         # runner builds one CoreExecutor per run, but stats are per-system:
         # re-derive from the sequential run for an apples-to-apples mix.
         seq = runner.sequential(name)
-        exec_stats = _exec_stats_of(seq)
         measured[name] = MeasuredRow(
             benchmark=name,
-            paradigm=result.paradigm,
-            hot_loop_pct=100.0 * workload.hot_loop_fraction,
-            spec_accesses_per_tx=stats.avg_spec_accesses_per_tx,
-            aborts_avoided_per_tx=stats.avoided_aborts_per_tx,
-            sla_pct_of_loads=100.0 * stats.sla_fraction_of_spec_loads,
-            branch_pct=100.0 * exec_stats.branch_fraction,
-            mispredict_pct=100.0 * exec_stats.mispredict_rate,
-            aborts_by_cause=stats.contention.cause_summary(),
+            paradigm=record.paradigm,
+            hot_loop_pct=100.0 * record.hot_loop_fraction,
+            spec_accesses_per_tx=record.avg_spec_accesses_per_tx,
+            aborts_avoided_per_tx=record.avoided_aborts_per_tx,
+            sla_pct_of_loads=100.0 * record.sla_fraction_of_spec_loads,
+            branch_pct=100.0 * seq.branch_fraction,
+            mispredict_pct=100.0 * seq.mispredict_rate,
+            aborts_by_cause=record.cause_summary,
         )
     return Table1Result(measured=measured, paper=dict(PAPER_TABLE1))
-
-
-def _exec_stats_of(result):
-    """The instruction-mix stats attached to a run (set by the drivers)."""
-    stats = result.extra.get("exec_stats")
-    if stats is not None:
-        return stats
-    # Fallback: a neutral mix when the executor was not instrumented.
-    from ..cpu.core_model import ExecStats
-    return ExecStats()
 
 
 def format_table1(result: Table1Result) -> str:

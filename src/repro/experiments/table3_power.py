@@ -14,9 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..power import McPatModel, PowerReport, profile_from_result
+from ..power import McPatModel, PowerReport
 from ..smtx import ValidationMode
 from ..workloads.suite import BENCHMARK_NAMES, SMTX_COMPARABLE
+from .engine import SweepSpec
 from .reporting import BenchmarkRunner, format_table, geomean
 
 #: Paper Table 3 reference points.
@@ -46,10 +47,22 @@ def _geomean_report(label: str, reports: List[PowerReport]) -> PowerReport:
     )
 
 
+def table3_spec(runner: BenchmarkRunner) -> SweepSpec:
+    """Every run Table 3 needs, in report order."""
+    requests: list = []
+    for name in BENCHMARK_NAMES:
+        requests.append(runner.request(name, "sequential"))
+        requests.append(runner.request(name, "hmtx"))
+        if name in SMTX_COMPARABLE:
+            requests.append(runner.request(name, "smtx-minimal"))
+    return SweepSpec("table3", tuple(requests))
+
+
 def run_table3(scale: float = 1.0,
                runner: Optional[BenchmarkRunner] = None) -> Table3Result:
     """Regenerate Table 3 from the Figure 8 runs plus the power model."""
     runner = runner or BenchmarkRunner(scale=scale)
+    runner.engine.run_spec(table3_spec(runner))
     commodity = McPatModel(hmtx_extensions=False)
     extended = McPatModel(hmtx_extensions=True)
 
@@ -57,14 +70,12 @@ def run_table3(scale: float = 1.0,
         out = []
         for name in names:
             if kind == "sequential":
-                result = runner.sequential(name)
-                profile = profile_from_result(result)
+                profile = runner.sequential(name).power_profile()
             elif kind == "smtx":
-                result = runner.smtx(name, ValidationMode.MINIMAL)
-                profile = profile_from_result(result, commit_process=True)
+                profile = runner.smtx(name, ValidationMode.MINIMAL) \
+                    .power_profile(commit_process=True)
             else:
-                result = runner.hmtx(name)
-                profile = profile_from_result(result, hmtx_active=True)
+                profile = runner.hmtx(name).power_profile(hmtx_active=True)
             out.append(model.report(name, profile))
         return out
 

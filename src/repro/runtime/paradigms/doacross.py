@@ -1,0 +1,84 @@
+"""DOACROSS — the loop carry crosses cores every iteration (Figure 1b)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ...backends import TMBackend
+from ...core.config import MachineConfig
+from ...cpu.core_model import CoreExecutor
+from ...cpu.interrupts import InterruptInjector
+from ...cpu.isa import BeginMTX, CommitMTX, Consume, Produce
+from ...txctl import ContentionManager
+from ...workloads.base import Workload
+from .base import (
+    ParadigmResult,
+    Program,
+    build_result,
+    fresh_system,
+    make_scheduler,
+    run_with_recovery,
+    wait_commit_turn,
+    wait_for_epoch,
+)
+from .registry import register_paradigm
+
+
+@register_paradigm("DOACROSS")
+def run_doacross(workload: Workload, config: Optional[MachineConfig] = None,
+                 workers: Optional[int] = None,
+                 interrupts: Optional[InterruptInjector] = None,
+                 sla_enabled: bool = True,
+                 executor_factory: Optional[Callable[[TMBackend], CoreExecutor]] = None,
+                 system_factory: Optional[Callable[[], TMBackend]] = None,
+                 manager: Optional[ContentionManager] = None,
+                 backend: Optional[str] = None,
+                 ) -> ParadigmResult:
+    """Speculative DOACROSS: the carry crosses cores every iteration.
+
+    Thread ``i % workers`` runs the *whole* body of iteration ``i``,
+    receiving the loop-carried register state from the previous iteration's
+    thread through a timed queue — inter-core latency lands on every
+    iteration's critical path (Figure 1b, section 2.1).
+    """
+    system = fresh_system(config, sla_enabled,
+                          system_factory=system_factory, backend=backend)
+    workload.setup(system)
+    workers = workers or system.config.num_cores
+    max_vid = system.vid_space.max_vid
+
+    def carry_queue(iteration: int) -> str:
+        return f"carry[{iteration % workers}]"
+
+    def worker(widx: int, start: int, serial: bool) -> Program:
+        first = start + (widx - start) % workers
+        for i in range(first, workload.iterations, workers):
+            if i == start:
+                carry = (workload.recover_carry(system, i) if start
+                         else workload.initial_carry(system))
+            else:
+                carry = yield Consume(carry_queue(i))
+            epoch, vid0 = divmod(i, max_vid)
+            vid = vid0 + 1
+            yield from wait_for_epoch(system, epoch)
+            if serial:
+                yield from wait_commit_turn(system, vid)
+            yield BeginMTX(vid)
+            carry = yield from workload.sequential_iteration(i, carry)
+            yield BeginMTX(0)
+            if i + 1 < workload.iterations:
+                yield Produce(carry_queue(i + 1), carry)
+            yield from wait_commit_turn(system, vid)
+            yield CommitMTX(vid)
+
+    def build(start: int = 0, serial: bool = False) -> Dict[int, Program]:
+        return {w: worker(w, start, serial) for w in range(workers)}
+
+    scheduler = make_scheduler(system, interrupts, executor_factory)
+    for w, program in build().items():
+        scheduler.add_thread(w, core=w % system.config.num_cores, program=program)
+    outcome = run_with_recovery(
+        scheduler, system, workload,
+        lambda serial=False: build(system.stats.committed, serial),
+        manager=manager)
+    return build_result(workload, "DOACROSS", system, scheduler, outcome)

@@ -1,0 +1,18 @@
+"""DSWP — two-thread pipeline (Figure 1c), a PS-DSWP degenerate case."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core.config import MachineConfig
+from ...workloads.base import Workload
+from .base import ParadigmResult
+from .ps_dswp import run_ps_dswp
+from .registry import register_paradigm
+
+
+@register_paradigm("DSWP")
+def run_dswp(workload: Workload, config: Optional[MachineConfig] = None,
+             **kwargs) -> ParadigmResult:
+    """Two-thread DSWP (Figure 1c): PS-DSWP with a single stage-2 worker."""
+    return run_ps_dswp(workload, config, stage2_workers=1, **kwargs)

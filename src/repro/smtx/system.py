@@ -29,6 +29,7 @@ from ..core.config import MachineConfig
 from ..core.context import ThreadContext
 from ..core.stats import SystemStats
 from ..errors import MisspeculationError, TransactionUsageError
+from ..txctl.causes import AbortCause
 from .costs import SmtxCosts, ValidationMode
 from .memory import SmtxMemory, ValidationLog
 
@@ -159,11 +160,14 @@ class SMTXSystem:
         self.commit_process_cycles += entries * self.costs.validate_entry
         self.commit_process_cycles += self.costs.commit_finalize
         if violation is not None:
-            self._abort()
+            # A failed validation is SMTX's conflict detection: stamp the
+            # same txctl cause HMTX conflicts carry, so the contention
+            # manager (and the conformance suite) sees one taxonomy.
+            self._abort(cause=AbortCause.CONFLICT, vid=vid)
             raise MisspeculationError(
                 f"SMTX validation failed: VID {vid} read 0x{violation.addr:x} "
                 f"= {violation.value_seen}, committed value differs",
-                vid=vid, addr=violation.addr)
+                vid=vid, addr=violation.addr, cause=AbortCause.CONFLICT)
         self.memory.commit(vid)
         self.log.pop(vid)
         self.active_vids.discard(vid)
@@ -177,8 +181,9 @@ class SMTXSystem:
         return self.costs.commit_finalize
 
     def abort_mtx(self, tid: int, vid: int) -> int:
-        self._abort(explicit=True)
-        raise MisspeculationError("explicit abortMTX", vid=vid)
+        self._abort(explicit=True, cause=AbortCause.EXPLICIT, vid=vid)
+        raise MisspeculationError("explicit abortMTX", vid=vid,
+                                  cause=AbortCause.EXPLICIT)
 
     # ------------------------------------------------------------------
     # Memory operations
@@ -255,10 +260,11 @@ class SMTXSystem:
                     return self.memory._buffers[buffer_vid][word], buffer_vid
         return self.memory.backing.read_word(word), 0
 
-    def _abort(self, explicit: bool = False) -> None:
+    def _abort(self, explicit: bool = False,
+               cause: Optional[AbortCause] = None, vid: int = 0) -> None:
         self.memory.abort_all()
         self.log.clear()
-        self.stats.record_abort(explicit=explicit)
+        self.stats.record_abort(explicit=explicit, cause=cause, vid=vid)
         for ctx in self.contexts.values():
             ctx.discard_output()
             ctx.vid = 0

@@ -80,9 +80,15 @@ class ProtocolTracer:
         return tracer
 
     def detach(self) -> None:
-        """Restore the hierarchy's unwrapped methods."""
-        for name, original in self._originals.items():
-            setattr(self.hierarchy, name, original)
+        """Restore the hierarchy's unwrapped methods.
+
+        Unwinds in reverse wrap order so stacked tracers (or any other
+        wrapper applied after this one) peel off like a stack: restoring
+        in insertion order would resurrect the innermost function over an
+        outer tracer's wrapper and silently stop recording its events.
+        """
+        for name in reversed(list(self._originals)):
+            setattr(self.hierarchy, name, self._originals[name])
         self._originals.clear()
 
     # ------------------------------------------------------------------

@@ -45,7 +45,9 @@ class TestReportingHelpers:
             geomean([1.0, 0.0])
 
     def test_geomean_empty(self):
-        assert geomean([]) == 0.0
+        """An empty set means the sweep lost rows: loud error, not 0.0."""
+        with pytest.raises(ValueError):
+            geomean([])
 
     def test_format_table(self):
         text = format_table(["a", "bb"], [[1, 2], [33, 4]], title="T")

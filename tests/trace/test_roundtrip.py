@@ -1,0 +1,89 @@
+"""Attach/detach roundtrip over the fast-path version indices.
+
+Tracing wraps the hierarchy's hot methods; the wrapped calls must flow
+through the same epoch/index bookkeeping as untraced ones, a traced run
+must produce bit-identical statistics, and ``detach()`` must unwind like
+a stack so nested tracers survive each other.
+"""
+
+import pytest
+
+from repro.coherence.hierarchy import MemoryHierarchy
+from repro.core import HMTXSystem, MachineConfig
+from repro.runtime.paradigms import run_workload
+from repro.trace import ProtocolTracer
+from repro.workloads import make_benchmark
+
+SCALE = 0.2
+
+
+def run_traced(attach):
+    """Run ispell on HMTX; ``attach`` hooks each fresh system."""
+    tracers = []
+
+    def factory():
+        system = HMTXSystem(MachineConfig())
+        attach(system, tracers)
+        return system
+
+    result = run_workload(make_benchmark("ispell", SCALE),
+                          system_factory=factory)
+    return result, tracers
+
+
+class TestRoundtrip:
+    def test_traced_run_is_bit_identical(self):
+        """Wrapping adds observation, never behaviour."""
+        plain, _ = run_traced(lambda system, tracers: None)
+        traced, tracers = run_traced(
+            lambda system, tracers: tracers.append(
+                ProtocolTracer.attach(system.hierarchy)))
+        assert tracers and tracers[-1].events
+        assert traced.cycles == plain.cycles
+        assert traced.system.stats == plain.system.stats
+        assert traced.system.last_committed == plain.system.last_committed
+
+    def test_indices_intact_under_tracing(self):
+        """The PR-2 fast-path indices stay coherent through wrapped calls."""
+        traced, tracers = run_traced(
+            lambda system, tracers: tracers.append(
+                ProtocolTracer.attach(system.hierarchy)))
+        traced.system.hierarchy.check_invariants()  # includes index checks
+        for tracer in tracers:
+            tracer.detach()
+        traced.system.hierarchy.check_invariants()
+
+    def test_detach_restores_originals(self):
+        system = HMTXSystem(MachineConfig())
+        tracer = ProtocolTracer.attach(system.hierarchy)
+        wrapped = system.hierarchy.load  # instance-attr function, not bound
+        assert getattr(wrapped, "__func__", None) is not MemoryHierarchy.load
+        tracer.detach()
+        for name in ("load", "store", "commit", "abort", "vid_reset"):
+            restored = getattr(system.hierarchy, name)
+            assert restored.__func__ is getattr(MemoryHierarchy, name), name
+        assert tracer._originals == {}
+
+    def test_nested_tracers_unwind_like_a_stack(self):
+        """Regression: detaching the outer tracer must not resurrect the
+        raw method over the inner tracer's wrapper (the insertion-order
+        detach bug silently stopped the surviving tracer's recording)."""
+        system = HMTXSystem(MachineConfig())
+        system.thread(0, core=0)
+        inner = ProtocolTracer.attach(system.hierarchy)
+        outer = ProtocolTracer.attach(system.hierarchy)
+
+        system.store(0, 0x40, 1)
+        assert len(inner.of_kind("store")) == 1
+        assert len(outer.of_kind("store")) == 1
+
+        outer.detach()
+        system.store(0, 0x80, 2)              # inner must still see this
+        assert len(inner.of_kind("store")) == 2
+        assert len(outer.of_kind("store")) == 1
+
+        inner.detach()
+        system.store(0, 0xC0, 3)              # nobody records any more
+        assert len(inner.of_kind("store")) == 2
+        assert system.hierarchy.load.__func__ is MemoryHierarchy.load
+        system.hierarchy.check_invariants()
