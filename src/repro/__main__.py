@@ -12,6 +12,8 @@ Examples::
 
 from __future__ import annotations
 
+# lint-file-ok: RL005 (subcommands lazily import their stacks so list/help stay fast)
+
 import argparse
 import json
 import os
@@ -253,6 +255,11 @@ def main(argv=None) -> int:
         help="measure simulator wall-clock throughput (BENCH_hotpath.json)")
     p.set_defaults(command="bench")
 
+    p = sub.add_parser(
+        "analyze", add_help=False,
+        help="model-check the protocol, racecheck backend traces, lint")
+    p.set_defaults(command="analyze")
+
     p = sub.add_parser("run", help="run one benchmark under one system")
     p.add_argument("benchmark", choices=BENCHMARK_NAMES)
     p.add_argument("--system", default="hmtx",
@@ -270,6 +277,10 @@ def main(argv=None) -> int:
         # bench owns its full flag set (and --help) — hand over directly.
         from .experiments.bench import main as bench_main
         return bench_main(argv[1:])
+    if argv[:1] == ["analyze"]:
+        # analyze owns its full flag set (and --help) too.
+        from .analysis.cli import main as analyze_main
+        return analyze_main(argv[1:])
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)

@@ -1,0 +1,40 @@
+"""``repro.analysis`` — correctness tooling over the protocol and traces.
+
+Three coordinated static/dynamic analysis passes, all reachable through
+``python -m repro analyze`` and the CI ``analysis`` job:
+
+``modelcheck``
+    Exhaustively enumerates the protocol's ``(state, modVID, highVID,
+    requestVID)`` decision space over the full m-bit VID namespace and
+    asserts the paper's section 4.3 invariants (window soundness, version
+    partitioning, superseded immutability, dependence-exact write aborts,
+    lazy commit/abort fold convergence, VID-reset scrubbing).  Failures
+    come back as exact tuple counterexamples.
+``racecheck``
+    An offline detector over recorded trace event streams: rebuilds the
+    VID happens-before order, replays MTX value forwarding, and flags lost
+    forwarded values, group-commit atomicity violations, aborts attributed
+    to committed VIDs, and VID-recycling hazards.
+``lint``
+    AST-based repo-specific rules (RL001..RL005): abort-cause stamping,
+    protocol purity, ``__slots__`` discipline, wall-clock-free cache keys,
+    and no undocumented function-local imports.
+
+See DESIGN.md section 10 for the rule catalog and counterexample format.
+"""
+
+from .findings import AnalysisReport, Finding, PassReport
+from .lint import LINT_RULES, lint_paths, lint_source
+from .modelcheck import check_protocol
+from .racecheck import check_trace
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "LINT_RULES",
+    "PassReport",
+    "check_protocol",
+    "check_trace",
+    "lint_paths",
+    "lint_source",
+]

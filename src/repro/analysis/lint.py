@@ -1,0 +1,318 @@
+"""Repo-specific AST lint: conventions a generic linter cannot know.
+
+Each rule encodes an invariant this codebase relies on for correctness
+(not style).  Violations are errors; a deliberate exception is recorded
+in-source with a suppression marker so the reason survives review:
+
+* ``# lint-ok: RL005 (why this is fine)`` on the offending line or the
+  line directly above suppresses one rule at that site;
+* ``# lint-file-ok: RL005 (why)`` anywhere in a file suppresses the rule
+  for the whole file (used by ``__main__.py``, whose lazy subcommand
+  imports are its documented dispatch pattern).
+
+Both forms **require** the parenthesised reason — a bare marker does not
+suppress anything.
+
+Rule catalog (details in DESIGN.md section 10):
+
+``RL001`` misspeculation raises must stamp ``cause=``
+    Every ``raise MisspeculationError(...)`` / ``SpeculativeOverflowError``
+    site must pass the ``cause=`` keyword so txctl's contention managers
+    never fall back to exception-type guessing.
+``RL002`` protocol module purity
+    ``coherence/protocol.py``, ``states.py`` and ``vid.py`` are pure
+    transition math over ``(state, modVID, highVID, requestVID)``; they
+    must not import the stateful container/runtime layers, or the model
+    checker's exhaustive enumeration stops being a proof about them.
+``RL003`` ``__slots__`` discipline
+    A class declaring ``__slots__`` must only assign declared attributes
+    on ``self`` — a typo'd attribute would raise ``AttributeError`` at
+    runtime on the protocol hot path instead of failing here.
+``RL004`` wall-clock-free cache keys
+    ``RunRequest`` and the sweep engine's digest/key helpers must never
+    read wall-clock time; the deterministic-sweep cache contract requires
+    ``key()`` to be a pure function of the request.
+``RL005`` function-local imports need a documented reason
+    Imports belong at module top level; a function-local import is only
+    acceptable to break a cycle or defer a heavy optional stack, and the
+    marker must say which.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import SEVERITY_ERROR, Finding, PassReport
+
+#: rule id -> one-line description (the ``--lint`` catalog).
+LINT_RULES: Dict[str, str] = {
+    "RL001": "raise of a misspeculation error must pass cause=",
+    "RL002": "protocol modules must not import container/runtime layers",
+    "RL003": "__slots__ classes must not assign undeclared self attributes",
+    "RL004": "RunRequest/cache-key code must not read wall-clock time",
+    "RL005": "function-local imports require a lint-ok marker with a reason",
+}
+
+#: Exception classes whose raise sites must stamp ``cause=`` (RL001).
+_CAUSE_STAMPED_ERRORS = {"MisspeculationError", "SpeculativeOverflowError"}
+
+#: Module path suffixes that must stay pure (RL002) and the top-level
+#: module segments they must not import.
+_PURE_MODULES = ("coherence/protocol.py", "coherence/states.py",
+                 "coherence/vid.py")
+_IMPURE_SEGMENTS = {"cache", "hierarchy", "directory", "memory", "line",
+                    "core", "core_model", "cpu", "runtime", "backends",
+                    "txctl", "experiments", "workloads"}
+
+#: Scopes inside experiments/engine.py that must be wall-clock free
+#: (RL004): the frozen request plus every digest/key helper.
+_CACHE_KEY_FILE = "experiments/engine.py"
+_CACHE_KEY_SCOPES = {"RunRequest", "config_digest"}
+_WALLCLOCK_MODULES = {"time", "datetime", "date"}
+_WALLCLOCK_CALLS = {"time", "time_ns", "monotonic", "monotonic_ns",
+                    "perf_counter", "perf_counter_ns", "now", "utcnow",
+                    "today", "localtime", "gmtime"}
+
+_INLINE_MARKER = re.compile(
+    r"#\s*lint-ok:\s*(?P<rule>RL\d{3})\s*\((?P<reason>[^)]+)\)")
+_FILE_MARKER = re.compile(
+    r"#\s*lint-file-ok:\s*(?P<rule>RL\d{3})\s*\((?P<reason>[^)]+)\)")
+
+
+class _Suppressions:
+    """Parsed ``lint-ok`` markers of one source file."""
+
+    def __init__(self, source: str) -> None:
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_wide: Set[str] = set()
+        self.used = 0
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            for match in _INLINE_MARKER.finditer(text):
+                rule = match.group("rule")
+                # A marker covers its own line and the one below, so it
+                # can sit above a long statement.
+                self.by_line.setdefault(lineno, set()).add(rule)
+                self.by_line.setdefault(lineno + 1, set()).add(rule)
+            for match in _FILE_MARKER.finditer(text):
+                self.file_wide.add(match.group("rule"))
+
+    def active(self, rule: str, lineno: int) -> bool:
+        if rule in self.file_wide or rule in self.by_line.get(lineno, ()):
+            self.used += 1
+            return True
+        return False
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _rl001_cause_stamping(tree: ast.AST, rel: str) -> Iterable[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise) or \
+                not isinstance(node.exc, ast.Call):
+            continue
+        name = _call_name(node.exc)
+        if name not in _CAUSE_STAMPED_ERRORS:
+            continue
+        keywords = {kw.arg for kw in node.exc.keywords}
+        if "cause" in keywords or None in keywords:  # None = **kwargs
+            continue
+        yield Finding(
+            "RL001", SEVERITY_ERROR, f"{rel}:{node.lineno}",
+            f"raise {name}(...) without cause=",
+            "stamp an AbortCause so txctl contention managers classify "
+            "the abort without exception-type guessing")
+
+
+def _rl002_protocol_purity(tree: ast.AST, rel: str) -> Iterable[Finding]:
+    if not rel.endswith(_PURE_MODULES):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            modules = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            modules = [node.module or ""]
+        else:
+            continue
+        for module in modules:
+            segments = set(module.split("."))
+            dirty = segments & _IMPURE_SEGMENTS
+            if dirty:
+                yield Finding(
+                    "RL002", SEVERITY_ERROR, f"{rel}:{node.lineno}",
+                    f"pure protocol module imports {module!r}",
+                    f"segment(s) {sorted(dirty)} belong to the stateful "
+                    "container/runtime layers; protocol.py must stay "
+                    "pure transition math (DESIGN.md section 2)")
+
+
+def _rl003_slots_discipline(tree: ast.AST, rel: str) -> Iterable[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        # Only enforceable when the MRO is fully visible: no bases (or
+        # only ``object``) — a base class defined elsewhere could add
+        # __dict__ back or declare more slots.
+        if any(not (isinstance(b, ast.Name) and b.id == "object")
+               for b in node.bases):
+            continue
+        slots = _declared_slots(node)
+        if slots is None:
+            continue
+        class_level = {t.id for stmt in node.body
+                       if isinstance(stmt, ast.Assign)
+                       for t in stmt.targets if isinstance(t, ast.Name)}
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            for sub in ast.walk(method):
+                target = _self_attr_target(sub)
+                if target and target not in slots \
+                        and target not in class_level:
+                    yield Finding(
+                        "RL003", SEVERITY_ERROR, f"{rel}:{sub.lineno}",
+                        f"{node.name}.{method.name} assigns "
+                        f"self.{target}, not in __slots__",
+                        f"declared slots: {sorted(slots)}")
+
+
+def _declared_slots(node: ast.ClassDef) -> Optional[Set[str]]:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets):
+            if isinstance(stmt.value, (ast.Tuple, ast.List)):
+                elements = stmt.value.elts
+            else:
+                return None  # dynamic __slots__: not statically checkable
+            slots = set()
+            for element in elements:
+                if isinstance(element, ast.Constant) and \
+                        isinstance(element.value, str):
+                    slots.add(element.value)
+                else:
+                    return None
+            return slots
+    return None
+
+
+def _self_attr_target(node: ast.AST) -> Optional[str]:
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == "self":
+                return target.attr
+    return None
+
+
+def _rl004_wallclock(tree: ast.AST, rel: str) -> Iterable[Finding]:
+    if not rel.endswith(_CACHE_KEY_FILE):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef)) and \
+                node.name in _CACHE_KEY_SCOPES:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call) and \
+                        isinstance(sub.func, ast.Attribute) and \
+                        isinstance(sub.func.value, ast.Name) and \
+                        sub.func.value.id in _WALLCLOCK_MODULES and \
+                        sub.func.attr in _WALLCLOCK_CALLS:
+                    yield Finding(
+                        "RL004", SEVERITY_ERROR, f"{rel}:{sub.lineno}",
+                        f"wall-clock call {sub.func.value.id}."
+                        f"{sub.func.attr}() inside {node.name}",
+                        "the sweep cache contract requires RunRequest.key "
+                        "to be a pure function of the request "
+                        "(DESIGN.md section 8)")
+
+
+def _rl005_local_imports(tree: ast.AST, rel: str) -> Iterable[Finding]:
+    def visit(node: ast.AST, in_function: bool) -> Iterable[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.Import, ast.ImportFrom)) \
+                    and in_function:
+                names = ", ".join(alias.name for alias in child.names)
+                yield Finding(
+                    "RL005", SEVERITY_ERROR, f"{rel}:{child.lineno}",
+                    f"function-local import of {names}",
+                    "hoist to module level, or add "
+                    "'# lint-ok: RL005 (reason)' naming the cycle or "
+                    "heavy optional stack it breaks")
+            nested = in_function or isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            yield from visit(child, nested)
+
+    yield from visit(tree, False)
+
+
+_RULE_CHECKS = (
+    _rl001_cause_stamping,
+    _rl002_protocol_purity,
+    _rl003_slots_discipline,
+    _rl004_wallclock,
+    _rl005_local_imports,
+)
+
+
+def lint_source(source: str, rel: str) -> Tuple[List[Finding], int]:
+    """Lint one file's source; returns (findings, suppressions_used)."""
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as err:
+        return [Finding("RL000", SEVERITY_ERROR, f"{rel}:{err.lineno}",
+                        f"syntax error: {err.msg}")], 0
+    suppressions = _Suppressions(source)
+    findings = []
+    for check in _RULE_CHECKS:
+        for finding in check(tree, rel):
+            lineno = int(finding.where.rsplit(":", 1)[1])
+            if not suppressions.active(finding.rule, lineno):
+                findings.append(finding)
+    return findings, suppressions.used
+
+
+def default_lint_root() -> Path:
+    """The package source tree this lint ships with (src/repro)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def lint_paths(paths: Optional[Sequence[Path]] = None) -> PassReport:
+    """Lint a set of files/directories (default: the repro package)."""
+    roots = [Path(p) for p in paths] if paths else [default_lint_root()]
+    files: List[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+    report = PassReport(name="lint")
+    suppressed = 0
+    anchor = default_lint_root().parent
+    for path in files:
+        try:
+            rel = str(path.resolve().relative_to(anchor))
+        except ValueError:
+            rel = str(path)
+        findings, used = lint_source(path.read_text(encoding="utf-8"), rel)
+        report.findings.extend(findings)
+        suppressed += used
+    report.coverage = {
+        "files": len(files),
+        "rules": len(LINT_RULES),
+        "suppressions_used": suppressed,
+        "violations": len(report.findings),
+    }
+    return report

@@ -21,6 +21,8 @@ would do, and all of the lazy event-log machinery comes for free.
 
 from __future__ import annotations
 
+from ..errors import SpeculativeOverflowError
+from ..txctl.causes import AbortCause
 from .cache import VersionedCache
 
 #: Extra cycles per overflow-table operation on top of memory latency
@@ -60,8 +62,6 @@ class OverflowVersionTable(VersionedCache):
         if evicted:
             # install() only evicts when the capacity safety valve blows;
             # the caller treats that as the base protocol's overflow abort.
-            from ..errors import SpeculativeOverflowError
-            from ..txctl.causes import AbortCause
             victim = evicted[0]
             raise SpeculativeOverflowError(
                 f"overflow table capacity exceeded evicting "

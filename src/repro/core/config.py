@@ -68,7 +68,7 @@ class MachineConfig:
             unbounded_sets=self.unbounded_sets,
         )
         if self.coherence == "directory":
-            from ..coherence.directory import DirectoryConfig
+            from ..coherence.directory import DirectoryConfig  # lint-ok: RL005 (coherence.directory imports this module's configs; a top-level import would cycle)
             return DirectoryConfig(**kwargs)
         if self.coherence != "snoopy":
             raise ValueError(f"unknown coherence organisation "
@@ -77,9 +77,9 @@ class MachineConfig:
 
     def build_hierarchy(self):
         """Construct the configured memory system."""
-        from ..coherence.hierarchy import MemoryHierarchy
+        from ..coherence.hierarchy import MemoryHierarchy  # lint-ok: RL005 (coherence layers import this module's configs; a top-level import would cycle)
         if self.coherence == "directory":
-            from ..coherence.directory import DirectoryHierarchy
+            from ..coherence.directory import DirectoryHierarchy  # lint-ok: RL005 (same cycle as above)
             return DirectoryHierarchy(self.hierarchy_config())
         return MemoryHierarchy(self.hierarchy_config())
 

@@ -1,9 +1,11 @@
 """Protocol tracing and trace rendering (debugging/teaching tooling)."""
 
+from .capture import BackendTracer
 from .events import ProtocolTracer, TraceEvent
 from .format import format_address_history, format_summary, format_trace
 
 __all__ = [
+    "BackendTracer",
     "ProtocolTracer",
     "TraceEvent",
     "format_address_history",

@@ -1,0 +1,203 @@
+"""Backend-level MTX event capture, uniform across TM implementations.
+
+:class:`~repro.trace.events.ProtocolTracer` records cache-protocol events
+and therefore only attaches to a real :class:`~repro.coherence.hierarchy.
+MemoryHierarchy` — the HMTX backend.  The race detector
+(:mod:`repro.analysis.racecheck`) needs the *architectural* story —
+which VID loaded/stored which value at which address, and when commits,
+aborts and VID resets happened — for **every** registered backend, so it
+can replay MTX semantics against any TM implementation.
+
+:class:`BackendTracer` wraps the executor-facing surface of a
+:class:`~repro.backends.TMBackend` (``load``/``store``/``kernel_load``/
+``kernel_store``/``commit_mtx``/``abort_mtx``/``vid_reset``) with the same
+method-wrapping technique as the protocol tracer: untraced runs pay
+nothing, and the recorded stream reuses :class:`TraceEvent` so all of the
+existing formatting/query tooling applies.
+
+Event kinds produced:
+
+``load`` / ``store``
+    One architectural memory access: ``vid`` is the issuing thread's VID
+    *at issue time* (0 for non-speculative and kernel accesses), ``value``
+    the data moved.  Accesses that raise a misspeculation are recorded as
+    ``misspeculation`` instead.
+``commit``
+    A successful ``commitMTX(vid)`` — the group-commit point.
+``abort``
+    All uncommitted state was flushed (explicit ``abortMTX`` or the
+    recovery path of a detected misspeculation).
+``misspeculation``
+    An access or commit detected a violation; always followed by the
+    ``abort`` event recording the flush.
+``vid_reset``
+    The section 4.6 VID-namespace recycle.
+
+Wrong-path (squashed) loads are deliberately *not* recorded: they are
+architecturally invisible, and the race detector must not treat them as
+real reads.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List, Optional
+
+from ..errors import MisspeculationError
+from .events import TraceEvent
+
+
+class BackendTracer:
+    """Records the architectural MTX events of one backend run.
+
+    Usage::
+
+        tracer = BackendTracer.attach(system)
+        ... run ...
+        analyse(tracer.events)
+        tracer.detach()
+    """
+
+    #: Methods returning an AccessResult, wrapped as value-carrying events.
+    _ACCESS_METHODS = ("load", "store", "kernel_load", "kernel_store")
+
+    def __init__(self, system, capacity: int = 1_000_000) -> None:
+        self.system = system
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._seq = 0
+        self._originals: Dict[str, Callable] = {}
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, system) -> "BackendTracer":
+        tracer = cls(system)
+        tracer._wrap_all()
+        return tracer
+
+    def detach(self) -> None:
+        """Restore the system's unwrapped methods (reverse wrap order, so
+        stacked wrappers peel off like a stack)."""
+        for name in reversed(list(self._originals)):
+            setattr(self.system, name, self._originals[name])
+        self._originals.clear()
+
+    # ------------------------------------------------------------------
+
+    def record(self, kind: str, core: Optional[int] = None,
+               vid: Optional[int] = None, addr: Optional[int] = None,
+               detail: str = "", value: Optional[int] = None) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._seq += 1
+        self.events.append(TraceEvent(self._seq, kind, core, vid, addr,
+                                      detail, value))
+
+    def _context_vid(self, tid: int) -> int:
+        ctx = self.system.contexts.get(tid)
+        return ctx.vid if ctx is not None else 0
+
+    def _wrap_all(self) -> None:
+        for name in self._ACCESS_METHODS:
+            self._wrap_access(name)
+        self._wrap_commit()
+        self._wrap_abort_mtx()
+        self._wrap_vid_reset()
+
+    def _wrap_access(self, name: str) -> None:
+        original = getattr(self.system, name)
+        self._originals[name] = original
+        tracer = self
+        kind = "store" if name.endswith("store") else "load"
+        is_store = kind == "store"
+        # Kernel accesses always run at VID 0 regardless of the thread's
+        # VID register (section 5.2).
+        kernel = name.startswith("kernel")
+
+        @functools.wraps(original)
+        def wrapped(tid, addr, *args, **kwargs):
+            vid = 0 if kernel else tracer._context_vid(tid)
+            try:
+                result = original(tid, addr, *args, **kwargs)
+            except MisspeculationError as err:
+                tracer.record("misspeculation", vid=err.vid, addr=addr,
+                              detail=err.reason)
+                tracer.record("abort",
+                              detail="uncommitted state flushed "
+                                     f"({name} misspeculated)")
+                raise
+            value = args[0] if is_store and args \
+                else kwargs.get("value", result.value) if is_store \
+                else result.value
+            tracer.record(kind, vid=vid, addr=addr, value=value,
+                          detail="kernel" if kernel else "")
+            return result
+
+        setattr(self.system, name, wrapped)
+
+    def _wrap_commit(self) -> None:
+        original = self.system.commit_mtx
+        self._originals["commit_mtx"] = original
+        tracer = self
+
+        @functools.wraps(original)
+        def wrapped(tid, vid, *args, **kwargs):
+            try:
+                result = original(tid, vid, *args, **kwargs)
+            except MisspeculationError as err:
+                # SMTX-style commit-time validation failure: the abort
+                # already flushed all uncommitted state.
+                tracer.record("misspeculation", vid=vid,
+                              addr=getattr(err, "addr", None),
+                              detail=err.reason)
+                tracer.record("abort",
+                              detail="uncommitted state flushed "
+                                     "(commit validation failed)")
+                raise
+            tracer.record("commit", vid=vid, detail=f"VID {vid}")
+            return result
+
+        setattr(self.system, "commit_mtx", wrapped)
+
+    def _wrap_abort_mtx(self) -> None:
+        original = self.system.abort_mtx
+        self._originals["abort_mtx"] = original
+        tracer = self
+
+        @functools.wraps(original)
+        def wrapped(tid, vid, *args, **kwargs):
+            try:
+                return original(tid, vid, *args, **kwargs)
+            except MisspeculationError:
+                tracer.record("abort", vid=vid,
+                              detail=f"explicit abortMTX({vid})")
+                raise
+
+        setattr(self.system, "abort_mtx", wrapped)
+
+    def _wrap_vid_reset(self) -> None:
+        original = self.system.vid_reset
+        self._originals["vid_reset"] = original
+        tracer = self
+
+        @functools.wraps(original)
+        def wrapped(*args, **kwargs):
+            result = original(*args, **kwargs)
+            tracer.record("vid_reset", detail="VID namespace recycled")
+            return result
+
+        setattr(self.system, "vid_reset", wrapped)
+
+    # ------------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def summary(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

@@ -31,6 +31,9 @@ class TraceEvent:
     vid: Optional[int] = None
     addr: Optional[int] = None
     detail: str = ""
+    #: Data value moved by a load/store (None for non-access events).
+    #: The race detector replays value flow from this field.
+    value: Optional[int] = None
 
     def render(self) -> str:
         parts = [f"{self.seq:>6}", self.kind.ljust(14)]
@@ -40,6 +43,8 @@ class TraceEvent:
             parts.append(f"vid={self.vid}")
         if self.addr is not None:
             parts.append(f"addr=0x{self.addr:x}")
+        if self.value is not None:
+            parts.append(f"val={self.value}")
         if self.detail:
             parts.append(self.detail)
         return " ".join(parts)
@@ -103,14 +108,15 @@ class ProtocolTracer:
 
     def record(self, kind: str, core: Optional[int] = None,
                vid: Optional[int] = None, addr: Optional[int] = None,
-               detail: str = "") -> None:
+               detail: str = "", value: Optional[int] = None) -> None:
         if not self._interesting(addr):
             return
         if len(self.events) >= self.capacity:
             self.dropped += 1
             return
         self._seq += 1
-        self.events.append(TraceEvent(self._seq, kind, core, vid, addr, detail))
+        self.events.append(TraceEvent(self._seq, kind, core, vid, addr,
+                                      detail, value))
 
     # ------------------------------------------------------------------
 
@@ -141,7 +147,8 @@ class ProtocolTracer:
                 detail += " +version"
             if result.sla_required:
                 detail += " sla"
-            tracer.record(name, core, vid, addr, detail=detail)
+            tracer.record(name, core, vid, addr, detail=detail,
+                          value=result.value)
             if tracer._interesting(addr):
                 after = len(tracer.hierarchy.versions_everywhere(addr))
                 if after != versions_before:
@@ -159,7 +166,8 @@ class ProtocolTracer:
         @functools.wraps(original)
         def wrapped(*args, **kwargs):
             result = original(*args, **kwargs)
-            tracer.record(name, detail=describe(*args, **kwargs))
+            vid = args[0] if name == "commit" and args else None
+            tracer.record(name, vid=vid, detail=describe(*args, **kwargs))
             return result
 
         setattr(self.hierarchy, name, wrapped)

@@ -93,7 +93,7 @@ def classify(exc: BaseException) -> AbortCause:
     if isinstance(cause, AbortCause):
         return cause
     # Late import keeps this module dependency-free for the low layers.
-    from ..errors import SpeculativeOverflowError
+    from ..errors import SpeculativeOverflowError  # lint-ok: RL005 (errors.py default-classifies via this module; a top-level import would cycle)
     if isinstance(exc, SpeculativeOverflowError):
         return AbortCause.CAPACITY_OVERFLOW
     return AbortCause.CONFLICT

@@ -1,0 +1,191 @@
+"""The repo lint: each rule on synthetic sources, suppressions, src/ clean."""
+
+import textwrap
+
+from repro.analysis.lint import (LINT_RULES, default_lint_root, lint_paths,
+                                 lint_source)
+
+
+def lint(source, rel="repro/somewhere.py"):
+    findings, _ = lint_source(textwrap.dedent(source), rel)
+    return findings
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestCauseStamping:
+    def test_unstamped_raise_is_rl001(self):
+        findings = lint("""
+            def f():
+                raise MisspeculationError("boom", vid=3)
+            """)
+        assert rules_of(findings) == ["RL001"]
+
+    def test_stamped_raise_is_clean(self):
+        findings = lint("""
+            def f():
+                raise SpeculativeOverflowError(
+                    "evicted", cause=AbortCause.CAPACITY_OVERFLOW)
+            """)
+        assert findings == []
+
+    def test_kwargs_splat_counts_as_stamped(self):
+        findings = lint("""
+            def f(kw):
+                raise MisspeculationError("boom", **kw)
+            """)
+        assert findings == []
+
+    def test_other_exceptions_are_ignored(self):
+        assert lint("""
+            def f():
+                raise ValueError("not a misspeculation")
+            """) == []
+
+
+class TestProtocolPurity:
+    def test_container_import_in_protocol_is_rl002(self):
+        findings = lint("from ..coherence.cache import VersionedCache\n",
+                        rel="repro/coherence/protocol.py")
+        assert rules_of(findings) == ["RL002"]
+
+    def test_pure_imports_are_fine(self):
+        assert lint("from .states import State\nimport enum\n",
+                    rel="repro/coherence/vid.py") == []
+
+    def test_rule_only_applies_to_pure_modules(self):
+        assert lint("from ..coherence.hierarchy import MemoryHierarchy\n",
+                    rel="repro/txctl/manager.py") == []
+
+
+class TestSlotsDiscipline:
+    def test_undeclared_self_attribute_is_rl003(self):
+        findings = lint("""
+            class Line:
+                __slots__ = ("state", "vid")
+                def __init__(self):
+                    self.state = 0
+                    self.stale = 1
+            """)
+        assert rules_of(findings) == ["RL003"]
+        assert "stale" in findings[0].message
+
+    def test_declared_attributes_are_clean(self):
+        assert lint("""
+            class Line:
+                __slots__ = ("state", "vid")
+                def __init__(self):
+                    self.state = 0
+                    self.vid = 0
+            """) == []
+
+    def test_classes_with_opaque_bases_are_skipped(self):
+        assert lint("""
+            class Line(Base):
+                __slots__ = ("state",)
+                def __init__(self):
+                    self.whatever = 1
+            """) == []
+
+    def test_classes_without_slots_are_skipped(self):
+        assert lint("""
+            class Loose:
+                def __init__(self):
+                    self.anything = 1
+            """) == []
+
+
+class TestWallClockFreeKeys:
+    def test_wall_clock_in_runrequest_is_rl004(self):
+        findings = lint("""
+            class RunRequest:
+                def key(self):
+                    return time.time()
+            """, rel="repro/experiments/engine.py")
+        assert rules_of(findings) == ["RL004"]
+
+    def test_wall_clock_elsewhere_in_engine_is_fine(self):
+        assert lint("""
+            def measure():
+                return time.perf_counter()
+            """, rel="repro/experiments/engine.py") == []
+
+    def test_rule_only_applies_to_engine(self):
+        assert lint("""
+            class RunRequest:
+                def key(self):
+                    return time.time()
+            """, rel="repro/experiments/bench.py") == []
+
+
+class TestLocalImports:
+    def test_function_local_import_is_rl005(self):
+        findings = lint("""
+            def f():
+                import os
+                return os
+            """)
+        assert rules_of(findings) == ["RL005"]
+
+    def test_module_level_import_is_fine(self):
+        assert lint("import os\n") == []
+
+    def test_inline_marker_with_reason_suppresses(self):
+        assert lint("""
+            def f():
+                from .heavy import thing  # lint-ok: RL005 (breaks a cycle)
+                return thing
+            """) == []
+
+    def test_marker_on_the_line_above_suppresses(self):
+        assert lint("""
+            def f():
+                # lint-ok: RL005 (defers the heavy optional stack)
+                from .heavy import thing
+                return thing
+            """) == []
+
+    def test_bare_marker_without_reason_does_not_suppress(self):
+        findings = lint("""
+            def f():
+                import os  # lint-ok: RL005
+                return os
+            """)
+        assert rules_of(findings) == ["RL005"]
+
+    def test_marker_for_another_rule_does_not_suppress(self):
+        findings = lint("""
+            def f():
+                import os  # lint-ok: RL001 (wrong rule)
+                return os
+            """)
+        assert rules_of(findings) == ["RL005"]
+
+    def test_file_pragma_suppresses_file_wide(self):
+        assert lint("""
+            # lint-file-ok: RL005 (CLI dispatch imports lazily)
+            def f():
+                import os
+                return os
+            def g():
+                import sys
+                return sys
+            """) == []
+
+
+class TestWholeTree:
+    def test_src_is_lint_clean(self):
+        report = lint_paths()
+        assert report.ok, "\n".join(f.render() for f in report.findings)
+        assert report.coverage["files"] > 50
+
+    def test_syntax_error_is_reported_not_raised(self):
+        findings, _ = lint_source("def broken(:\n", "repro/x.py")
+        assert rules_of(findings) == ["RL000"]
+
+    def test_rule_catalog_is_documented(self):
+        assert set(LINT_RULES) == {"RL001", "RL002", "RL003", "RL004",
+                                   "RL005"}
+        assert default_lint_root().name == "repro"

@@ -1,0 +1,126 @@
+"""The protocol model checker: full-space pass, coverage, counterexamples.
+
+The mutation tests are the checker's own test: a deliberately broken
+protocol (one flipped comparison — exactly the off-by-one class the
+paper's windows invite) must produce a counterexample, or the checker
+proves nothing.
+"""
+
+from types import SimpleNamespace
+
+from repro.analysis.modelcheck import check_protocol, reachable
+from repro.coherence import protocol
+from repro.coherence.protocol import WriteOutcome
+from repro.coherence.states import State
+
+
+def _real_protocol_namespace():
+    return SimpleNamespace(
+        version_hits=protocol.version_hits,
+        write_outcome=protocol.write_outcome,
+        plan_new_version=protocol.plan_new_version,
+        read_transition=protocol.read_transition,
+        commit_transition=protocol.commit_transition,
+        abort_transition=protocol.abort_transition,
+        reset_transition=protocol.reset_transition,
+    )
+
+
+class TestFullSpace:
+    def test_protocol_is_clean_over_the_full_6bit_space(self):
+        report = check_protocol(vid_bits=6)
+        assert report.ok, "\n".join(f.render() for f in report.findings)
+        assert report.coverage["violations"] == 0
+
+    def test_coverage_counts_match_the_closed_form(self):
+        """The checker must actually have enumerated the whole space."""
+        report = check_protocol(vid_bits=6)
+        n = 1 << 6
+        assert report.coverage["tuples_enumerated"] == len(State) * n * n
+        # Reachable version tuples: S-M/S-S carry 0<=m<=h (h>=1), S-O
+        # strictly m<h, S-E m=0, and the five non-speculative states
+        # exactly (0,0).
+        tri = sum(h + 1 for h in range(1, n))      # S-M and S-S each
+        strict = sum(h for h in range(1, n))       # S-O
+        expected = 2 * tri + strict + (n - 1) + 5
+        assert report.coverage["version_tuples_reachable"] == expected
+        # Every reachable version tuple was probed with every request VID.
+        assert report.coverage["request_tuples_checked"] == expected * n
+
+    def test_small_space_is_also_clean(self):
+        assert check_protocol(vid_bits=3).ok
+
+    def test_reachable_matches_the_documented_constraints(self):
+        assert reachable(State.SM, 2, 5) and reachable(State.SM, 0, 1)
+        assert not reachable(State.SM, 3, 2)
+        assert reachable(State.SE, 0, 4) and not reachable(State.SE, 1, 4)
+        assert reachable(State.SO, 2, 5) and not reachable(State.SO, 5, 5)
+        assert reachable(State.MODIFIED, 0, 0)
+        assert not reachable(State.MODIFIED, 0, 1)
+
+
+class TestMutationsAreCaught:
+    """Each seeded bug must yield a counterexample with the right rule."""
+
+    def _check_mutant(self, **overrides):
+        mutant = _real_protocol_namespace()
+        for name, fn in overrides.items():
+            setattr(mutant, name, fn)
+        return check_protocol(vid_bits=4, protocol=mutant)
+
+    def test_off_by_one_hit_window_is_caught(self):
+        def bad_hits(state, m, h, a):
+            if state in (State.SO, State.SS) and state.speculative:
+                return m <= a <= h  # inclusive upper bound: wrong
+            return protocol.version_hits(state, m, h, a)
+
+        report = self._check_mutant(version_hits=bad_hits)
+        assert not report.ok
+        rules = {f.rule for f in report.findings}
+        assert "MC001" in rules
+        counterexample = next(f for f in report.findings
+                              if f.rule == "MC001")
+        assert "S" in counterexample.where  # names the exact state tuple
+
+    def test_missed_dependence_abort_is_caught(self):
+        def bad_write(state, m, h, a):
+            outcome = protocol.write_outcome(state, m, h, a)
+            if outcome is WriteOutcome.ABORT and state.latest_spec:
+                return WriteOutcome.NEW_VERSION  # ignores a < highVID
+            return outcome
+
+        report = self._check_mutant(write_outcome=bad_write)
+        assert not report.ok
+        assert any(f.rule == "MC003" for f in report.findings)
+
+    def test_eager_commit_fold_divergence_is_caught(self):
+        def bad_commit(state, m, h, c):
+            # Drops the modVID<=c generalisation: only the exact match
+            # folds, so processing a backlog lazily diverges.
+            if state.speculative and c < h and 0 < m < c:
+                return state, (m, h)
+            return protocol.commit_transition(state, m, h, c)
+
+        report = self._check_mutant(commit_transition=bad_commit)
+        assert not report.ok
+        assert any(f.rule == "MC006" for f in report.findings)
+
+    def test_leaky_abort_is_caught(self):
+        def bad_abort(state, m, h):
+            if state is State.SO:
+                return state, (m, h)  # leaves speculative state behind
+            return protocol.abort_transition(state, m, h)
+
+        report = self._check_mutant(abort_transition=bad_abort)
+        assert not report.ok
+        assert any(f.rule == "MC007" for f in report.findings)
+
+    def test_counterexamples_are_capped_but_counted(self):
+        def always_hits(state, m, h, a):
+            return True
+
+        report = self._check_mutant(version_hits=always_hits)
+        assert not report.ok
+        mc001 = [f for f in report.findings if f.rule == "MC001"]
+        assert len(mc001) <= 5
+        assert report.coverage["violations"] > len(mc001)

@@ -13,6 +13,7 @@ from repro.core import HMTXSystem
 from repro.cpu.core_model import CoreExecutor
 from repro.cpu.isa import Load, Store
 from repro.errors import MisspeculationError
+from repro.txctl import AbortCause
 from repro.runtime.paradigms import run_doall, run_ps_dswp
 from repro.workloads import LinkedListWorkload, Lcg
 from repro.workloads.alvinn import AlvinnWorkload
@@ -34,7 +35,8 @@ class ChaosExecutor(CoreExecutor):
                 and self._rng.next(self._denominator) == 0:
             self.injected += 1
             self.system._abort(explicit=True)
-            raise MisspeculationError("chaos: injected abort")
+            raise MisspeculationError("chaos: injected abort",
+                                      cause=AbortCause.INTERRUPT)
         return super().execute(tid, op, now)
 
 

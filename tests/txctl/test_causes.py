@@ -32,9 +32,14 @@ class TestTaxonomy:
         assert classify(exc) is AbortCause.INTERRUPT
 
     def test_classify_falls_back_on_exception_type(self):
-        assert classify(SpeculativeOverflowError("evicted")) \
-            is AbortCause.CAPACITY_OVERFLOW
-        assert classify(MisspeculationError("legacy")) is AbortCause.CONFLICT
+        # Unstamped construction is deprecated (the constructor now
+        # default-classifies); classify() must agree with that default.
+        with pytest.warns(DeprecationWarning):
+            overflow = SpeculativeOverflowError("evicted")
+        with pytest.warns(DeprecationWarning):
+            legacy = MisspeculationError("legacy")
+        assert classify(overflow) is AbortCause.CAPACITY_OVERFLOW
+        assert classify(legacy) is AbortCause.CONFLICT
 
     def test_event_from_exception_carries_context(self):
         exc = MisspeculationError("boom", vid=3, addr=0x1234,

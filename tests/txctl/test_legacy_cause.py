@@ -1,0 +1,48 @@
+"""Deprecation of unstamped misspeculation raises (cause=None).
+
+Legacy construction must keep working — default-classified exactly as
+:func:`repro.txctl.causes.classify` would have — but now warns, and the
+lint rule RL001 bans new in-repo sites.  These tests pin the bridge
+behaviour so removing it later is a deliberate act.
+"""
+
+import warnings
+
+import pytest
+
+from repro.errors import MisspeculationError, SpeculativeOverflowError
+from repro.txctl import AbortCause, classify
+
+
+class TestLegacyCausePath:
+    def test_unstamped_misspeculation_warns_and_defaults_to_conflict(self):
+        with pytest.warns(DeprecationWarning, match="without cause="):
+            exc = MisspeculationError("legacy site", vid=3)
+        assert exc.cause is AbortCause.CONFLICT
+
+    def test_unstamped_overflow_defaults_to_capacity(self):
+        with pytest.warns(DeprecationWarning):
+            exc = SpeculativeOverflowError("evicted", vid=2)
+        assert exc.cause is AbortCause.CAPACITY_OVERFLOW
+
+    def test_stamped_construction_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            exc = MisspeculationError("stamped", vid=1,
+                                      cause=AbortCause.WRONG_PATH)
+        assert exc.cause is AbortCause.WRONG_PATH
+
+    def test_classify_agrees_with_the_default_stamp(self):
+        """The bridge must classify exactly like the old lazy fallback."""
+        with pytest.warns(DeprecationWarning):
+            legacy = MisspeculationError("legacy")
+        assert classify(legacy) is legacy.cause is AbortCause.CONFLICT
+
+    def test_default_stamp_survives_reraise_and_context(self):
+        with pytest.warns(DeprecationWarning):
+            try:
+                raise MisspeculationError("legacy", vid=5, addr=0x40)
+            except MisspeculationError as err:
+                caught = err
+        assert caught.cause is AbortCause.CONFLICT
+        assert (caught.vid, caught.addr) == (5, 0x40)
