@@ -260,6 +260,11 @@ def main(argv=None) -> int:
         help="model-check the protocol, racecheck backend traces, lint")
     p.set_defaults(command="analyze")
 
+    p = sub.add_parser(
+        "obs", add_help=False,
+        help="observe one run: metrics, transaction timeline, cycle profile")
+    p.set_defaults(command="obs")
+
     p = sub.add_parser("run", help="run one benchmark under one system")
     p.add_argument("benchmark", choices=BENCHMARK_NAMES)
     p.add_argument("--system", default="hmtx",
@@ -281,6 +286,10 @@ def main(argv=None) -> int:
         # analyze owns its full flag set (and --help) too.
         from .analysis.cli import main as analyze_main
         return analyze_main(argv[1:])
+    if argv[:1] == ["obs"]:
+        # obs owns its full flag set (and --help) too.
+        from .obs.cli import main as obs_main
+        return obs_main(argv[1:])
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)

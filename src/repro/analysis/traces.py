@@ -92,10 +92,11 @@ def racecheck_backends(backends: Optional[Sequence[str]] = None,
             for key in ("events", "loads_checked", "stores", "commits",
                         "aborts", "violations"):
                 totals[key] += sub.coverage[key]
-            if tracer.dropped:
+            if tracer.dropped_events:
                 merged.findings.append(Finding(
                     "RC000", SEVERITY_ERROR, label,
-                    f"trace overflowed: {tracer.dropped} events dropped",
+                    f"trace ring overflowed: {tracer.dropped_events} oldest "
+                    "events evicted — the replay window is partial",
                     "raise BackendTracer capacity or lower the scale"))
             observed = workload.observed_result(result.system)
             expected = workload.expected_result(result.system)

@@ -78,11 +78,15 @@ class RunRequest:
     #: cache entries.  The bench harness uses this for best-of-N timing
     #: (a cached record would report the first run's wall time forever).
     repeat: int = 0
+    #: Run with an :mod:`repro.obs` session attached; the record then
+    #: carries the cycle-attribution digest.  Distinct cache entry from
+    #: the unobserved run even though the simulation is identical.
+    observe: bool = False
 
     def key(self) -> Tuple:
         """Cache/dedupe key; hashes the (mutable) machine config."""
         return (self.workload, self.system, self.scale, self.paradigm,
-                self.policy, self.calibrated, self.repeat,
+                self.policy, self.calibrated, self.repeat, self.observe,
                 config_digest(self.machine))
 
 
@@ -145,6 +149,9 @@ class RunRecord:
     l2_accesses: int
     #: Simulator wall time for this run; excluded from reports.
     wall_seconds: float = field(compare=False)
+    #: Cycle-attribution digest (``hmtx-obs-digest/1``) when the request
+    #: ran observed; plain data so it crosses the pool boundary.
+    obs_digest: Optional[Dict[str, Any]] = None
 
     def power_profile(self, commit_process: bool = False,
                       hmtx_active: bool = False) -> RunProfile:
@@ -234,7 +241,8 @@ def _cache_accesses(result: ParadigmResult) -> Tuple[int, int]:
 
 
 def snapshot(request: RunRequest, workload: Workload,
-             result: ParadigmResult, wall_seconds: float) -> RunRecord:
+             result: ParadigmResult, wall_seconds: float,
+             obs_digest: Optional[Dict[str, Any]] = None) -> RunRecord:
     """Freeze one live run into a plain-data :class:`RunRecord`."""
     stats = result.system.stats
     contention = stats.contention
@@ -275,12 +283,24 @@ def snapshot(request: RunRequest, workload: Workload,
         l1_accesses=l1,
         l2_accesses=l2,
         wall_seconds=wall_seconds,
+        obs_digest=obs_digest,
     )
 
 
 def execute_request(request: RunRequest) -> RunRecord:
     """Run one request start-to-finish; the unit a pool worker executes."""
     start = time.perf_counter()
+    if request.observe:
+        from ..obs.profile import attribute, digest  # lint-ok: RL005 (observed runs only; keeps the obs stack out of unobserved pool workers)
+        from ..obs.session import ObsSession  # lint-ok: RL005 (same)
+        session = ObsSession()
+        with session.activate():
+            workload, result = _run(request)
+        session.detach()
+        session.finalize(result)
+        obs_digest = digest(session, attribute(session))
+        return snapshot(request, workload, result,
+                        time.perf_counter() - start, obs_digest=obs_digest)
     workload, result = _run(request)
     return snapshot(request, workload, result, time.perf_counter() - start)
 
@@ -303,8 +323,12 @@ class SweepEngine:
     once and every caller gets the *same object* back.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(self, jobs: int = 1, observe: bool = False) -> None:
         self.jobs = max(1, int(jobs))
+        #: When set, every request runs with an obs session attached and
+        #: its record carries the cycle-attribution digest — sweeps gain
+        #: attribution without any driver changes (or reruns, via cache).
+        self.observe = observe
         self._cache: Dict[Tuple, RunRecord] = {}
 
     def run_one(self, request: RunRequest) -> RunRecord:
@@ -312,6 +336,9 @@ class SweepEngine:
 
     def run(self, requests: Sequence[RunRequest]) -> List[RunRecord]:
         """Execute ``requests``; returns records in request order."""
+        if self.observe:
+            requests = [r if r.observe else replace(r, observe=True)
+                        for r in requests]
         todo: List[RunRequest] = []
         seen = set()
         for request in requests:

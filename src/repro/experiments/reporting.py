@@ -65,10 +65,11 @@ class BenchmarkRunner:
     def __init__(self, scale: float = 1.0,
                  config: Optional[MachineConfig] = None,
                  jobs: int = 1,
-                 engine: Optional[SweepEngine] = None) -> None:
+                 engine: Optional[SweepEngine] = None,
+                 observe: bool = False) -> None:
         self.scale = scale
         self.config = config
-        self.engine = engine or SweepEngine(jobs=jobs)
+        self.engine = engine or SweepEngine(jobs=jobs, observe=observe)
 
     def request(self, name: str, system: str) -> RunRequest:
         """The engine request for the (benchmark, system-label) pair."""

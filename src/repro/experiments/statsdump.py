@@ -8,9 +8,27 @@ structured report.  ``python -m repro run <bench> --stats`` prints it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
+
+from ..txctl.causes import AbortCause
+from ..txctl.livelock import EscalationLevel
 
 Section = Tuple[str, List[Tuple[str, object]]]
+
+
+def _stable_causes(by_cause) -> str:
+    """Every taxonomy cause, zeros included — downstream diffing needs a
+    run with no aborts and a run with aborts to expose the same keys."""
+    return " ".join(f"{cause.value}={by_cause.get(cause.value, 0)}"
+                    for cause in AbortCause)
+
+
+def _stable_escalations(escalations) -> str:
+    """Every livelock ladder rung above NORMAL, zeros included."""
+    levels = [level for level in EscalationLevel
+              if level is not EscalationLevel.NORMAL]
+    return " ".join(f"{level}={escalations.get(str(level), 0)}"
+                    for level in levels)
 
 
 def collect_stats(result) -> List[Section]:
@@ -41,15 +59,16 @@ def collect_stats(result) -> List[Section]:
         ("vid_resets", stats.vid_resets),
     ]))
 
+    # Emitted unconditionally, with every taxonomy/ladder key zero-filled:
+    # the dump of a clean run and of an abort storm must diff line-by-line.
     contention = stats.contention
     sections.append(("contention (txctl)", [
         ("aborts", contention.aborts),
-        ("by_cause", contention.cause_summary()),
+        ("by_cause", _stable_causes(contention.by_cause)),
         ("retries", contention.retries),
         ("backoff_cycles", contention.backoff_cycles),
         ("serialized_recoveries", contention.serialized_recoveries),
-        ("escalations", " ".join(f"{k}={v}" for k, v in
-                                 contention.escalations.items()) or "-"),
+        ("escalations", _stable_escalations(contention.escalations)),
         ("fallback_entries", contention.fallback_entries),
         ("fallback_iterations", contention.fallback_iterations),
         ("serial_fallback", result.extra.get("serial_fallback", False)),

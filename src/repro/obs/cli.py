@@ -1,0 +1,183 @@
+"""``python -m repro obs`` — observe one run end to end.
+
+Runs one workload with the full observability stack attached (metrics
+registry, lifecycle timeline, cycle profiler), prints the attribution
+breakdown, reconciles the observed lifecycle against ``SystemStats``
+totals (non-zero exit on mismatch — the acceptance contract), and
+optionally writes a validated Chrome trace-event JSON for Perfetto.
+
+``--overhead-check`` instead times the same request with and without
+instrumentation (best of N wall-clock) and fails when the instrumented
+run's simulated-ops-per-second falls below ``1/limit`` of baseline —
+the CI perf-smoke gate invokes this with the default 2x limit.
+"""
+
+from __future__ import annotations
+
+# lint-file-ok: RL005 (sweep-engine and exporter stacks load lazily so obs --help stays fast, like the bench/analyze CLIs)
+
+import argparse
+import json
+import sys
+import time
+
+from .profile import attribute, digest, format_breakdown, format_hot_lines
+from .session import ObsSession
+from .timeline import build_timeline
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="run one workload fully instrumented: metrics, "
+                    "transaction timeline, simulated-cycle profile")
+    parser.add_argument("workload",
+                        help="suite benchmark or adversarial workload "
+                             "(e.g. contended-list)")
+    parser.add_argument("--backend", "--system", dest="system",
+                        default="hmtx",
+                        help="system label or registered backend "
+                             "(default hmtx)")
+    parser.add_argument("--paradigm", default=None,
+                        help="force a parallelisation paradigm")
+    parser.add_argument("--policy", default=None,
+                        help="txctl retry policy name")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier (default 1.0)")
+    parser.add_argument("--timeline", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON "
+                             "(Perfetto-loadable)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--gantt", action="store_true",
+                        help="render the terminal Gantt view")
+    parser.add_argument("--gantt-width", type=int, default=72)
+    parser.add_argument("--top", type=int, default=5,
+                        help="hot-line table size (default 5)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="also dump the full metrics registry")
+    parser.add_argument("--overhead-check", action="store_true",
+                        help="time instrumented vs uninstrumented and "
+                             "assert the overhead bound")
+    parser.add_argument("--overhead-limit", type=float, default=2.0,
+                        help="max allowed wall-clock slowdown factor "
+                             "(default 2.0)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="best-of-N runs for --overhead-check")
+    return parser
+
+
+def _observed_run(request):
+    """Execute ``request`` with a fresh session attached; returns
+    ``(session, workload, result)`` with the session finalized."""
+    from ..experiments.engine import _run
+    session = ObsSession()
+    with session.activate():
+        workload, result = _run(request)
+    session.detach()
+    session.finalize(result)
+    return session, workload, result
+
+
+def _overhead_check(request, repeat: int, limit: float) -> int:
+    from ..experiments.engine import _run
+    baseline = instrumented = float("inf")
+    ops = 0
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        _, result = _run(request)
+        baseline = min(baseline, time.perf_counter() - start)
+        ops = result.run.ops_executed
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        session, _, _ = _observed_run(request)
+        instrumented = min(instrumented, time.perf_counter() - start)
+    slowdown = instrumented / baseline if baseline > 0 else 1.0
+    base_rate = ops / baseline if baseline > 0 else 0.0
+    inst_rate = ops / instrumented if instrumented > 0 else 0.0
+    ok = slowdown <= limit
+    print(f"overhead-check {request.workload}/{request.system}: "
+          f"uninstrumented {base_rate:,.0f} ops/s, "
+          f"instrumented {inst_rate:,.0f} ops/s, "
+          f"slowdown {slowdown:.2f}x (limit {limit:.1f}x) "
+          f"{'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    args = _parser().parse_args(argv)
+    from ..experiments.engine import RunRequest
+    request = RunRequest(workload=args.workload, system=args.system,
+                         scale=args.scale, paradigm=args.paradigm,
+                         policy=args.policy)
+    if args.overhead_check:
+        return _overhead_check(request, args.repeat, args.overhead_limit)
+
+    session, workload, result = _observed_run(request)
+    attribution = attribute(session)
+    reconciliation = session.reconcile(result.system.stats)
+    timeline = build_timeline(session, attribution)
+    correct = (workload.observed_result(result.system)
+               == workload.expected_result(result.system))
+
+    if args.timeline:
+        from .export import write_chrome_trace
+        data = write_chrome_trace(
+            timeline, args.timeline,
+            label=f"{args.workload}/{args.system}")
+        trace_note = (f"wrote {args.timeline} "
+                      f"({len(data['traceEvents'])} trace events, "
+                      f"validated)")
+    else:
+        trace_note = None
+
+    if args.format == "json":
+        report = {
+            "schema": "hmtx-obs-report/1",
+            "workload": args.workload,
+            "system": args.system,
+            "scale": args.scale,
+            "paradigm": result.paradigm,
+            "cycles": result.cycles,
+            "correct": correct,
+            "digest": digest(session, attribution, top=args.top),
+            "reconcile": reconciliation,
+            "metrics": session.registry.collect(),
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        stats = result.system.stats
+        print(f"{args.workload} on {args.system}: {result.cycles:,} cycles "
+              f"({result.paradigm}); {stats.committed} commits, "
+              f"{stats.aborted} aborts; result "
+              f"{'correct' if correct else '*** WRONG ***'}")
+        print()
+        print(format_breakdown(attribution,
+                               label=f"{args.workload}/{args.system}"))
+        print()
+        print(format_hot_lines(session, top=args.top))
+        checks = reconciliation["checks"]
+        print()
+        print("reconciliation vs SystemStats: "
+              + ("exact" if reconciliation["ok"] else "MISMATCH"))
+        for name, pair in checks.items():
+            marker = "==" if pair["observed"] == pair["stats"] else "!="
+            print(f"  {name}: observed {pair['observed']} {marker} "
+                  f"stats {pair['stats']}")
+        if args.gantt:
+            from .export import render_gantt
+            print()
+            print(render_gantt(timeline, width=args.gantt_width))
+        if args.metrics:
+            print()
+            print(session.registry.format_text())
+        if trace_note:
+            print()
+            print(trace_note)
+
+    ok = reconciliation["ok"] and attribution.identity_ok and correct
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - python -m repro obs is the entry
+    raise SystemExit(main())

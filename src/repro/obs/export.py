@@ -1,0 +1,242 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable) + terminal Gantt.
+
+The JSON follows the Trace Event Format, with one simulated cycle mapped
+to one microsecond (``ts``/``dur`` are µs in the format; Perfetto and
+``about://tracing`` both render the cycle counts directly):
+
+* ``M`` metadata names the process and one track per simulated thread
+  (``core C / tid T``);
+* ``X`` complete events are the per-thread cycle-attribution slices
+  (name = category) from :mod:`repro.obs.profile`;
+* ``b``/``e`` async pairs are transaction attempts — one per
+  :class:`~repro.obs.timeline.TxSpan`, named ``VID n``, carrying
+  allocate/begin/exec-end stamps, the outcome and abort cause in
+  ``args``;
+* ``i`` instants mark conflicts, aborts and VID resets;
+* ``C`` counters track speculative footprint bytes, runnable threads and
+  live VIDs.
+
+:func:`validate_trace` is the exporter's own schema check — structural
+validity plus the span-nesting invariant (every stamp ordered within its
+VID's allocate→end bounds, every conflict instant inside an open span of
+its VID).  The CLI validates before writing; CI re-validates the
+artifact; the golden test pins the exact bytes for contended-list.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .timeline import Timeline
+
+#: Category -> glyph for the terminal Gantt.
+GANTT_GLYPHS = {
+    "useful": "█",
+    "commit_stall": "c",
+    "vid_reset": "v",
+    "abort_replay": "x",
+    "queue_wait": ".",
+    "overflow": "o",
+    "idle": " ",
+}
+
+_PID = 1
+
+
+def to_chrome_trace(timeline: Timeline,
+                    label: str = "hmtx-sim") -> Dict[str, Any]:
+    """Render a :class:`Timeline` as a Chrome trace-event dict."""
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "pid": _PID, "name": "process_name",
+        "args": {"name": label},
+    }]
+    for tid in sorted(timeline.thread_cores):
+        core = timeline.thread_cores[tid]
+        events.append({"ph": "M", "pid": _PID, "tid": tid,
+                       "name": "thread_name",
+                       "args": {"name": f"core {core} / tid {tid}"}})
+        events.append({"ph": "M", "pid": _PID, "tid": tid,
+                       "name": "thread_sort_index",
+                       "args": {"sort_index": tid}})
+    for piece in timeline.slices:
+        events.append({
+            "ph": "X", "pid": _PID, "tid": piece.tid, "cat": "cycles",
+            "name": piece.category, "ts": piece.start,
+            "dur": piece.duration,
+            "args": {"vid": piece.vid},
+        })
+    for index, span in enumerate(timeline.spans):
+        args = span.to_dict()
+        tid = span.tid if span.tid is not None else 0
+        events.append({
+            "ph": "b", "pid": _PID, "tid": tid, "cat": "tx",
+            "id": index, "name": f"VID {span.vid}",
+            "ts": span.allocate_ts, "args": args,
+        })
+        events.append({
+            "ph": "e", "pid": _PID, "tid": tid, "cat": "tx",
+            "id": index, "name": f"VID {span.vid}",
+            "ts": span.end_ts, "args": {},
+        })
+    for kind, instants in sorted(timeline.instants.items()):
+        for instant in instants:
+            args = {key: value for key, value in instant.items()
+                    if key not in ("seq", "ts", "kind") and value is not None}
+            events.append({
+                "ph": "i", "pid": _PID,
+                "tid": instant.get("tid") or 0, "s": "g",
+                "name": kind, "ts": instant["ts"], "args": args,
+            })
+    for name, track in sorted(timeline.counters.items()):
+        for ts, value in track:
+            events.append({
+                "ph": "C", "pid": _PID, "name": name, "ts": ts,
+                "args": {name: value},
+            })
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated cycles (1 cycle = 1us)",
+                      "makespan_cycles": timeline.makespan},
+        "traceEvents": events,
+    }
+
+
+def write_chrome_trace(timeline: Timeline, path: str,
+                       label: str = "hmtx-sim") -> Dict[str, Any]:
+    data = to_chrome_trace(timeline, label=label)
+    validate_trace(data)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return data
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+
+def validate_trace(data: Any) -> Dict[str, int]:
+    """Validate structure + span nesting; raises ``ValueError``.
+
+    Returns per-phase event counts on success (handy for smoke output).
+    """
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("not a trace: missing traceEvents")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    counts: Dict[str, int] = {}
+    opens: Dict[Any, Dict[str, Any]] = {}
+    span_windows: Dict[int, List[tuple]] = {}
+    for event in events:
+        if not isinstance(event, dict) or "ph" not in event:
+            raise ValueError(f"event without ph: {event!r}")
+        ph = event["ph"]
+        counts[ph] = counts.get(ph, 0) + 1
+        if ph in ("X", "b", "e", "i", "C") and "ts" not in event:
+            raise ValueError(f"{ph} event without ts: {event!r}")
+        if ph == "X":
+            if event.get("dur", -1) < 0 or event["ts"] < 0:
+                raise ValueError(f"X event with bad ts/dur: {event!r}")
+        elif ph == "b":
+            key = (event.get("cat"), event["id"])
+            if key in opens:
+                raise ValueError(f"async span {key} opened twice")
+            opens[key] = event
+            _check_span_args(event)
+        elif ph == "e":
+            key = (event.get("cat"), event["id"])
+            begin = opens.pop(key, None)
+            if begin is None:
+                raise ValueError(f"async end without begin: {key}")
+            if event["ts"] < begin["ts"]:
+                raise ValueError(
+                    f"async span {key} ends at {event['ts']} before its "
+                    f"begin at {begin['ts']}")
+            vid = begin.get("args", {}).get("vid")
+            if vid is not None:
+                span_windows.setdefault(vid, []).append(
+                    (begin["ts"], event["ts"]))
+    if opens:
+        raise ValueError(f"unterminated async spans: {sorted(opens)}")
+    for event in events:
+        if event["ph"] != "i" or event["name"] != "conflict":
+            continue
+        vid = event.get("args", {}).get("vid")
+        if not vid:
+            continue
+        ts = event["ts"]
+        windows = span_windows.get(vid, [])
+        if not any(start <= ts <= end for start, end in windows):
+            raise ValueError(
+                f"conflict instant at ts={ts} for VID {vid} falls outside "
+                f"every span of that VID ({windows})")
+    return counts
+
+
+def _check_span_args(event: Dict[str, Any]) -> None:
+    """The nesting invariant: allocate ≤ begin ≤ exec_end ≤ end, and the
+    async pair's open stamp equals the span's allocate stamp."""
+    args = event.get("args", {})
+    stamps = [args.get("allocate_ts"), args.get("begin_ts"),
+              args.get("exec_end_ts"), args.get("end_ts")]
+    if any(s is None for s in stamps):
+        return
+    allocate, begin, exec_end, end = stamps
+    if not allocate <= begin <= exec_end <= end:
+        raise ValueError(
+            f"span VID {args.get('vid')} attempt {args.get('attempt')} "
+            f"stamps not nested: allocate={allocate} begin={begin} "
+            f"exec_end={exec_end} end={end}")
+    if event["ts"] != allocate:
+        raise ValueError(
+            f"async open ts {event['ts']} != allocate_ts {allocate} "
+            f"for VID {args.get('vid')}")
+
+
+# ----------------------------------------------------------------------
+# Terminal Gantt
+# ----------------------------------------------------------------------
+
+def render_gantt(timeline: Timeline, width: int = 72) -> str:
+    """Quick-look per-thread lanes, one glyph per time bucket.
+
+    Each bucket shows the category that occupied the most cycles in it;
+    the legend is printed underneath.
+    """
+    makespan = max(1, timeline.makespan)
+    width = max(8, width)
+    scale = makespan / width
+    lanes: Dict[int, List[Dict[str, int]]] = {
+        tid: [dict() for _ in range(width)]
+        for tid in sorted(timeline.thread_cores)}
+    for piece in timeline.slices:
+        lane = lanes.setdefault(piece.tid,
+                                [dict() for _ in range(width)])
+        first = min(width - 1, int(piece.start / scale))
+        last = min(width - 1, int((piece.start + piece.duration - 1) / scale))
+        for bucket in range(first, last + 1):
+            bucket_start = bucket * scale
+            bucket_end = bucket_start + scale
+            overlap = min(piece.start + piece.duration, bucket_end) \
+                - max(piece.start, bucket_start)
+            if overlap > 0:
+                cell = lane[bucket]
+                cell[piece.category] = cell.get(piece.category, 0) + overlap
+    lines = [f"gantt: {makespan:,} cycles, "
+             f"{scale:.0f} cycles/char"]
+    for tid in sorted(lanes):
+        row = []
+        for cell in lanes[tid]:
+            if not cell:
+                row.append(GANTT_GLYPHS["idle"])
+                continue
+            category = max(sorted(cell), key=lambda c: cell[c])
+            row.append(GANTT_GLYPHS.get(category, "?"))
+        core = timeline.thread_cores.get(tid, "?")
+        lines.append(f"  t{tid}/c{core} |{''.join(row)}|")
+    legend = "  ".join(f"{glyph or ' '}={name}"
+                       for name, glyph in GANTT_GLYPHS.items())
+    lines.append(f"  legend: {legend}")
+    return "\n".join(lines)

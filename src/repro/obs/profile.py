@@ -1,0 +1,211 @@
+"""Simulated-cycle profiler: attribute every cycle to a category.
+
+Input is a finalized :class:`~repro.obs.session.ObsSession`; output is an
+:class:`Attribution` that accounts for **all** ``threads × makespan``
+simulated cycles, split across:
+
+``useful``
+    Ops of transactions that went on to commit, plus all
+    non-speculative (VID 0) execution.
+``commit_stall``
+    In-order commit spinning (``wait_commit_turn`` polls).
+``vid_reset``
+    Section 4.6 VID-exhaustion quiesce (allocation polls, epoch waits,
+    the reset broadcast itself).
+``abort_replay``
+    Ops of transactions that were flushed (their cycles were re-executed
+    later), plus contention-manager backoff stalls.
+``queue_wait``
+    Gaps in a thread's op stream: blocked Produce/Consume, queue
+    latency, core contention.
+``overflow``
+    Accesses that triggered overflow-table spill/retrieval traffic
+    (section 5.4 pressure).
+``idle``
+    Trailing cycles after a thread's last op until the run's makespan.
+
+Attribution is retrospective: op samples are held against their VID until
+the transaction's outcome event (commit → ``useful``; any flush →
+``abort_replay``), exactly the paper's notion that a squashed cycle was
+wasted work however useful it looked at the time.  Samples pre-tagged by
+the session (spin retags, overflow flags) keep their tags.
+
+The per-thread identity ``sum(categories) == makespan`` is exact and
+asserted by the tests — nothing is silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Categories a *sample* can carry (``idle``/``queue_wait`` are derived).
+_FLUSH_SURVIVING_TAGS = ("commit_stall", "vid_reset", "overflow")
+
+
+@dataclass
+class Attribution:
+    """Every simulated cycle of one run, attributed."""
+
+    makespan: int
+    #: Final category per op sample, parallel to ``session.samples``.
+    categories: List[str]
+    #: tid -> category -> cycles (includes derived queue_wait/idle).
+    per_thread: Dict[int, Dict[str, int]]
+    #: Sum of per-thread cycles by category.
+    totals: Dict[str, int] = field(default_factory=dict)
+    identity_ok: bool = True
+
+    @property
+    def total_thread_cycles(self) -> int:
+        return sum(sum(cats.values()) for cats in self.per_thread.values())
+
+
+def attribute(session) -> Attribution:
+    """Run the retrospective attribution over a finalized session."""
+    samples = session.samples
+    events = session.events
+    final: List[Optional[str]] = [None] * len(samples)
+    open_by_vid: Dict[int, List[int]] = {}
+
+    def finish(index: int, default: str) -> None:
+        pretag = samples[index][5]
+        final[index] = pretag if pretag is not None else default
+
+    def finish_flushed(index: int) -> None:
+        pretag = samples[index][5]
+        final[index] = pretag if pretag in _FLUSH_SURVIVING_TAGS \
+            else "abort_replay"
+
+    # Merge the two seq-ordered streams (shared monotone counter).
+    si = ei = 0
+    while si < len(samples) or ei < len(events):
+        if ei >= len(events) or (si < len(samples)
+                                 and samples[si][0] < events[ei]["seq"]):
+            vid = samples[si][4]
+            if vid > 0:
+                open_by_vid.setdefault(vid, []).append(si)
+            else:
+                finish(si, "useful")
+            si += 1
+            continue
+        event = events[ei]
+        ei += 1
+        if event["kind"] == "commit":
+            for index in open_by_vid.pop(event["vid"], []):
+                finish(index, "useful")
+        elif event["kind"] == "abort":
+            for indices in open_by_vid.values():
+                for index in indices:
+                    finish_flushed(index)
+            open_by_vid.clear()
+    for indices in open_by_vid.values():
+        for index in indices:
+            finish(index, "useful")
+
+    makespan = session.makespan
+    per_thread: Dict[int, Dict[str, int]] = {}
+    identity_ok = True
+    stall_total = session.stall_cycles_total
+    for tid, indices in sorted(session._tid_sample_idx.items()):
+        cats: Dict[str, int] = {}
+        cursor = 0
+        gap_total = 0
+        for index in indices:
+            _, _, start, latency, _, _ = samples[index]
+            if start > cursor:
+                gap_total += start - cursor
+            cursor = max(cursor, start + latency)
+            category = final[index] or "useful"
+            cats[category] = cats.get(category, 0) + latency
+        # Machine-wide backoff stalls show up as gaps in every thread's op
+        # stream; reattribute up to the stalled total as abort recovery,
+        # the rest is genuine queue/core wait.
+        backoff = min(stall_total, gap_total)
+        if backoff:
+            cats["abort_replay"] = cats.get("abort_replay", 0) + backoff
+        queue_wait = gap_total - backoff
+        if queue_wait:
+            cats["queue_wait"] = cats.get("queue_wait", 0) + queue_wait
+        idle = makespan - cursor
+        if idle > 0:
+            cats["idle"] = cats.get("idle", 0) + idle
+        per_thread[tid] = cats
+        if sum(cats.values()) != makespan:
+            identity_ok = False
+    for tid in session.thread_cores:
+        if tid not in per_thread:
+            per_thread[tid] = {"idle": makespan} if makespan else {}
+    totals: Dict[str, int] = {}
+    for cats in per_thread.values():
+        for category, cycles in cats.items():
+            totals[category] = totals.get(category, 0) + cycles
+    return Attribution(makespan=makespan,
+                       categories=[c or "useful" for c in final],
+                       per_thread=per_thread,
+                       totals=dict(sorted(totals.items())),
+                       identity_ok=identity_ok)
+
+
+# ----------------------------------------------------------------------
+# Hot lines + digest
+# ----------------------------------------------------------------------
+
+def hot_lines(counts: Dict[int, int], top: int = 5) -> List[Tuple[str, int]]:
+    """Top-N ``(hex line, count)``, count-descending then address."""
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [(f"0x{line:x}", count) for line, count in ranked[:top]]
+
+
+def digest(session, attribution: Attribution,
+           top: int = 5) -> Dict[str, Any]:
+    """Picklable per-run attribution summary (rides in RunRecords)."""
+    spans = session.all_spans()
+    aborts_by_cause: Dict[str, int] = {}
+    for event in session.events:
+        if event["kind"] == "abort":
+            cause = event["cause"]
+            aborts_by_cause[cause] = aborts_by_cause.get(cause, 0) + 1
+    return {
+        "schema": "hmtx-obs-digest/1",
+        "makespan": attribution.makespan,
+        "categories": attribution.totals,
+        "total_thread_cycles": attribution.total_thread_cycles,
+        "identity_ok": attribution.identity_ok,
+        "commits": sum(1 for s in spans if s.outcome == "commit"),
+        "aborts": sum(1 for e in session.events if e["kind"] == "abort"),
+        "aborts_by_cause": dict(sorted(aborts_by_cause.items())),
+        "spans": len(spans),
+        "hot_conflict_lines": hot_lines(session.line_conflict_counts, top),
+        "hot_access_lines": hot_lines(session.line_access_counts, top),
+    }
+
+
+def format_breakdown(attribution: Attribution,
+                     label: str = "") -> str:
+    """Terminal table: cycles and share per category, then per thread."""
+    total = max(1, attribution.total_thread_cycles)
+    lines = [f"cycle attribution{' — ' + label if label else ''} "
+             f"(makespan {attribution.makespan:,} cycles, "
+             f"{len(attribution.per_thread)} threads)"]
+    width = max((len(c) for c in attribution.totals), default=6)
+    for category, cycles in sorted(attribution.totals.items(),
+                                   key=lambda kv: -kv[1]):
+        share = 100.0 * cycles / total
+        lines.append(f"  {category.ljust(width)}  {cycles:>12,}  "
+                     f"{share:5.1f}%")
+    if not attribution.identity_ok:
+        lines.append("  !! identity violated: categories do not sum to "
+                     "makespan on every thread")
+    return "\n".join(lines)
+
+
+def format_hot_lines(session, top: int = 5) -> str:
+    lines = ["hottest lines by conflict count:"]
+    ranked = hot_lines(session.line_conflict_counts, top)
+    if not ranked:
+        lines.append("  (no conflicts)")
+    for line, count in ranked:
+        accesses = session.line_access_counts.get(int(line, 16), 0)
+        lines.append(f"  {line}  {count} conflicts, {accesses} accesses")
+    return "\n".join(lines)

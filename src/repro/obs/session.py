@@ -1,0 +1,544 @@
+"""The live observer: wraps one run's backend + scheduler, records streams.
+
+An :class:`ObsSession` is installed via :func:`repro.obs.hooks.activate`;
+while active, :func:`~repro.runtime.paradigms.base.fresh_system` and
+:func:`~repro.runtime.paradigms.base.make_scheduler` hand it every system
+and scheduler they build, and it instruments them with the repo's
+method-wrapping idiom (the ProtocolTracer/BackendTracer technique):
+original methods are stashed, ``functools.wraps``-preserving closures
+installed as instance attributes, and :meth:`detach` restores everything.
+Unobserved runs never see any of this — the hook point is ``None`` and
+the simulator executes its unmodified methods.
+
+Recorded streams (all stamped in *simulated* cycles, ordered by one
+shared monotone ``seq``):
+
+* **op samples** — one ``[seq, tid, start, latency, vid, pretag]`` row
+  per executed core op, from the wrapped ``CoreExecutor.execute`` (which
+  receives the op's start time).  ``pretag`` is an optional category
+  assigned at record time (spin retags, overflow flags); final
+  attribution happens in :mod:`repro.obs.profile`.
+* **events** — transaction lifecycle points (allocate/begin/commit/
+  conflict/abort/vid_reset/stall) as small dicts.
+* **spans** — :class:`~repro.obs.timeline.TxSpan` per transaction
+  attempt.
+* **metrics** — published into a :class:`~repro.obs.registry.
+  MetricsRegistry` live (commits, aborts by cause, commit latency,
+  footprint peaks) plus an end-of-run snapshot of SystemStats /
+  HierarchyStats / ContentionStats totals.
+
+The wraps are observation-only: they never change latencies, values, or
+the op stream, so an instrumented run is simulation-identical to an
+uninstrumented one (asserted by ``tests/obs/test_noop_guard.py``).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import MisspeculationError
+from ..txctl.causes import classify
+from . import hooks
+from .registry import MetricsRegistry
+from .timeline import TxSpan
+
+#: How often (scheduler steps) the runnable-thread counter is sampled.
+RUNNABLE_SAMPLE_EVERY = 64
+
+#: Cycle-attribution categories (see profile.py / DESIGN.md §11).
+CATEGORIES = ("useful", "commit_stall", "vid_reset", "abort_replay",
+              "queue_wait", "overflow", "idle")
+
+
+class ObsSession:
+    """One observed run: recorded streams plus the metrics registry."""
+
+    def __init__(self,
+                 runnable_sample_every: int = RUNNABLE_SAMPLE_EVERY) -> None:
+        self.registry = MetricsRegistry()
+        #: ``[seq, tid, start, latency, vid, pretag]`` per executed op.
+        self.samples: List[list] = []
+        self.events: List[Dict[str, Any]] = []
+        self.spans: List[TxSpan] = []
+        self.line_access_counts: Dict[int, int] = {}
+        self.line_conflict_counts: Dict[int, int] = {}
+        self.footprint_track: List[Tuple[int, int]] = []
+        self.runnable_track: List[Tuple[int, int]] = []
+        self.live_vid_track: List[Tuple[int, int]] = []
+        self.thread_cores: Dict[int, int] = {}
+        self.stall_cycles_total = 0
+        self.makespan = 0
+        self.runnable_sample_every = runnable_sample_every
+        self._seq = 0
+        self._steps = 0
+        self._open_spans: Dict[int, TxSpan] = {}
+        self._attempts: Dict[int, int] = {}
+        self._systems: List[Any] = []
+        self._schedulers: List[Any] = []
+        self._line_size = 64
+        self._current_tid: Optional[int] = None
+        self._current_thread: Optional[Any] = None
+        self._in_op = False
+        self._op_now = 0
+        self._op_overflow = False
+        self._tid_sample_idx: Dict[int, List[int]] = {}
+        self._originals: List[Tuple[Any, str, Callable]] = []
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def activate(self):
+        """Context manager installing this session as the run observer."""
+        return hooks.activate(self)
+
+    def detach(self) -> None:
+        """Restore every wrapped method (reverse order, stack-style)."""
+        for obj, name, original in reversed(self._originals):
+            setattr(obj, name, original)
+        self._originals.clear()
+
+    def finalize(self, result=None) -> None:
+        """Freeze end-of-run state: thread map, makespan, stats snapshot."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for scheduler in self._schedulers:
+            for thread in scheduler.threads:
+                self.thread_cores[thread.tid] = thread.core
+                if thread.clock > self.makespan:
+                    self.makespan = thread.clock
+        if result is not None and result.cycles > self.makespan:
+            self.makespan = result.cycles
+        for system in self._systems:
+            self._snapshot_stats(system)
+
+    def all_spans(self) -> List[TxSpan]:
+        """Closed spans plus any still-open ones (outcome ``open``)."""
+        tail = []
+        for vid in sorted(self._open_spans):
+            span = self._open_spans[vid]
+            if span.end_ts is None:
+                span.end_ts = self.makespan
+            tail.append(span)
+        return self.spans + tail
+
+    # ------------------------------------------------------------------
+    # Attach points (called by runtime.paradigms.base when active)
+    # ------------------------------------------------------------------
+
+    def attach_system(self, system) -> None:
+        self._systems.append(system)
+        stats = getattr(system, "stats", None)
+        self._line_size = getattr(stats, "line_size", 64)
+        for name in ("load", "store", "kernel_load", "kernel_store"):
+            if hasattr(system, name):
+                self._wrap_access(system, name)
+        self._wrap_begin(system)
+        self._wrap_commit(system)
+        self._wrap_abort(system)
+        self._wrap_allocate(system)
+        self._wrap_vid_reset(system)
+
+    def attach_scheduler(self, scheduler) -> None:
+        self._schedulers.append(scheduler)
+        self._wrap_step(scheduler)
+        self._wrap_stall(scheduler)
+        self._wrap_execute(scheduler)
+
+    def record_spin(self, category: str, vid: int, count: int) -> None:
+        """Retag the current thread's last ``count`` op samples as a stall.
+
+        Called by the spin helpers in ``runtime.paradigms.base`` when a
+        polling loop (commit ordering, VID-reset quiesce) exits: the
+        trailing samples of the spinning thread are exactly its spin ops,
+        executed while this hook's caller was the running generator.
+        """
+        indices = self._tid_sample_idx.get(self._current_tid)
+        if not indices:
+            return
+        cycles = 0
+        for idx in indices[-count:]:
+            row = self.samples[idx]
+            if row[5] is None:
+                row[5] = category
+            if vid:
+                row[4] = vid
+            cycles += row[3]
+        self.registry.counter("spin_cycles_total", category=category) \
+            .inc(cycles)
+
+    # ------------------------------------------------------------------
+    # Clock resolution
+    # ------------------------------------------------------------------
+
+    def _now(self) -> int:
+        if self._in_op:
+            return self._op_now
+        thread = self._current_thread
+        return thread.clock if thread is not None else 0
+
+    def _event(self, kind: str, ts: Optional[int] = None,
+               **fields) -> Dict[str, Any]:
+        self._seq += 1
+        event: Dict[str, Any] = {
+            "seq": self._seq, "ts": self._now() if ts is None else ts,
+            "kind": kind}
+        event.update(fields)
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Span bookkeeping
+    # ------------------------------------------------------------------
+
+    def _open_span(self, vid: int, ts: int,
+                   begin_ts: Optional[int] = None) -> TxSpan:
+        stale = self._open_spans.pop(vid, None)
+        if stale is not None:
+            stale.end_ts = ts
+            stale.outcome = "orphaned"
+            self.spans.append(stale)
+        attempt = self._attempts.get(vid, 0)
+        self._attempts[vid] = attempt + 1
+        span = TxSpan(vid=vid, attempt=attempt, allocate_ts=ts,
+                      tid=self._current_tid, begin_ts=begin_ts)
+        self._open_spans[vid] = span
+        self.live_vid_track.append((ts, len(self._open_spans)))
+        return span
+
+    def _close_span(self, vid: int, ts: int, outcome: str,
+                    cause: Optional[str] = None) -> None:
+        span = self._open_spans.pop(vid, None)
+        if span is None:
+            # Commit of a VID whose begin predates our attach — synthesize
+            # a degenerate span so counts still reconcile.
+            attempt = self._attempts.get(vid, 0)
+            self._attempts[vid] = attempt + 1
+            span = TxSpan(vid=vid, attempt=attempt, allocate_ts=ts,
+                          tid=self._current_tid, begin_ts=ts)
+        span.end_ts = ts
+        span.outcome = outcome
+        span.cause = cause
+        self.spans.append(span)
+        self.live_vid_track.append((ts, len(self._open_spans)))
+
+    def _on_misspeculation(self, err: MisspeculationError, addr=None,
+                           op: str = "") -> None:
+        """Record conflict + abort once per exception, however many wrapped
+        frames it unwinds through."""
+        if getattr(err, "_obs_seen", False):
+            return
+        err._obs_seen = True
+        cause = classify(err).value
+        ts = self._now()
+        bad_addr = getattr(err, "addr", -1)
+        if bad_addr in (None, -1):
+            bad_addr = addr
+        if bad_addr is not None:
+            line = bad_addr - (bad_addr % self._line_size)
+            self.line_conflict_counts[line] = \
+                self.line_conflict_counts.get(line, 0) + 1
+        self._event("conflict", ts=ts, vid=err.vid, addr=bad_addr,
+                    cause=cause, op=op)
+        self._event("abort", ts=ts, vid=err.vid, cause=cause)
+        self.registry.counter("aborts_total", cause=cause).inc()
+        for vid in list(self._open_spans):
+            if vid == err.vid:
+                self._close_span(vid, ts, "abort", cause)
+            else:
+                self._close_span(vid, ts, "squashed")
+
+    # ------------------------------------------------------------------
+    # System wraps
+    # ------------------------------------------------------------------
+
+    def _install(self, obj, name: str, wrapped: Callable) -> None:
+        self._originals.append((obj, name, getattr(obj, name)))
+        setattr(obj, name, wrapped)
+
+    def _wrap_access(self, system, name: str) -> None:
+        original = getattr(system, name)
+        session = self
+        kernel = name.startswith("kernel")
+        is_store = name.endswith("store")
+        hierarchy = getattr(system, "hierarchy", None)
+        hstats = getattr(hierarchy, "stats", None)
+        track_overflow = hasattr(hstats, "spec_overflow_spills")
+        track_footprint = hasattr(hierarchy, "speculative_footprint_bytes")
+        line_size = self._line_size
+        kind = "store" if is_store else "load"
+        space = "kernel" if kernel else "user"
+        access_counter = self.registry.counter(
+            "mem_accesses_total", kind=kind, space=space)
+        footprint_peak = self.registry.gauge("spec_footprint_bytes_peak")
+
+        @functools.wraps(original)
+        def wrapped(tid, addr, *args, **kwargs):
+            if track_overflow:
+                overflow_before = (hstats.spec_overflow_spills
+                                   + hstats.overflow_retrievals)
+            try:
+                result = original(tid, addr, *args, **kwargs)
+            except MisspeculationError as err:
+                session._on_misspeculation(err, addr=addr, op=name)
+                raise
+            line = addr - (addr % line_size)
+            counts = session.line_access_counts
+            counts[line] = counts.get(line, 0) + 1
+            access_counter.inc()
+            if not kernel:
+                ctx = system.contexts.get(tid)
+                vid = ctx.vid if ctx is not None else 0
+                if vid:
+                    span = session._open_spans.get(vid)
+                    if span is not None:
+                        if is_store:
+                            span.stores += 1
+                        else:
+                            span.loads += 1
+            if track_overflow and (hstats.spec_overflow_spills
+                                   + hstats.overflow_retrievals) \
+                    != overflow_before:
+                session._op_overflow = True
+            if track_footprint and getattr(result, "created_version", False):
+                footprint = hierarchy.speculative_footprint_bytes()
+                footprint_peak.set_max(footprint)
+                session.footprint_track.append((session._now(), footprint))
+            return result
+
+        self._install(system, name, wrapped)
+
+    def _wrap_begin(self, system) -> None:
+        original = system.begin_mtx
+        session = self
+
+        @functools.wraps(original)
+        def wrapped(tid, vid, *args, **kwargs):
+            ctx = system.contexts.get(tid)
+            previous = ctx.vid if ctx is not None else 0
+            latency = original(tid, vid, *args, **kwargs)
+            ts = session._now()
+            if vid == 0:
+                if previous:
+                    span = session._open_spans.get(previous)
+                    if span is not None and span.exec_end_ts is None:
+                        span.exec_end_ts = ts
+            else:
+                span = session._open_spans.get(vid)
+                if span is None:
+                    span = session._open_span(vid, ts, begin_ts=ts)
+                elif span.begin_ts is None:
+                    span.begin_ts = ts
+                    span.tid = tid
+                session._event("begin", ts=ts, tid=tid, vid=vid)
+            return latency
+
+        self._install(system, "begin_mtx", wrapped)
+
+    def _wrap_commit(self, system) -> None:
+        original = system.commit_mtx
+        session = self
+        commits = self.registry.counter("tx_commits_total")
+        latency_hist = self.registry.histogram("commit_latency_cycles")
+
+        @functools.wraps(original)
+        def wrapped(tid, vid, *args, **kwargs):
+            try:
+                latency = original(tid, vid, *args, **kwargs)
+            except MisspeculationError as err:
+                session._on_misspeculation(err, op="commit_mtx")
+                raise
+            ts = session._now()
+            session._event("commit", ts=ts, tid=tid, vid=vid)
+            commits.inc()
+            if isinstance(latency, int):
+                latency_hist.observe(latency)
+            session._close_span(vid, ts, "commit")
+            return latency
+
+        self._install(system, "commit_mtx", wrapped)
+
+    def _wrap_abort(self, system) -> None:
+        original = system.abort_mtx
+        session = self
+
+        @functools.wraps(original)
+        def wrapped(tid, vid, *args, **kwargs):
+            try:
+                return original(tid, vid, *args, **kwargs)
+            except MisspeculationError as err:
+                session._on_misspeculation(err, op="abort_mtx")
+                raise
+
+        self._install(system, "abort_mtx", wrapped)
+
+    def _wrap_allocate(self, system) -> None:
+        original = system.allocate_vid
+        session = self
+
+        @functools.wraps(original)
+        def wrapped(*args, **kwargs):
+            vid = original(*args, **kwargs)
+            ts = session._now()
+            session._open_span(vid, ts)
+            session._event("allocate", ts=ts, vid=vid,
+                           tid=session._current_tid)
+            return vid
+
+        self._install(system, "allocate_vid", wrapped)
+
+    def _wrap_vid_reset(self, system) -> None:
+        original = system.vid_reset
+        session = self
+        resets = self.registry.counter("vid_resets_total")
+
+        @functools.wraps(original)
+        def wrapped(*args, **kwargs):
+            result = original(*args, **kwargs)
+            session._event("vid_reset")
+            resets.inc()
+            return result
+
+        self._install(system, "vid_reset", wrapped)
+
+    # ------------------------------------------------------------------
+    # Scheduler wraps
+    # ------------------------------------------------------------------
+
+    def _wrap_step(self, scheduler) -> None:
+        original = scheduler._step
+        session = self
+        every = self.runnable_sample_every
+
+        @functools.wraps(original)
+        def wrapped(thread):
+            session._current_tid = thread.tid
+            session._current_thread = thread
+            session._steps += 1
+            if session._steps % every == 0:
+                runnable = sum(1 for t in scheduler.threads
+                               if not t.done and t.blocked_on is None
+                               and t.blocked_produce is None)
+                session.runnable_track.append((thread.clock, runnable))
+            return original(thread)
+
+        self._install(scheduler, "_step", wrapped)
+
+    def _wrap_stall(self, scheduler) -> None:
+        original = scheduler.stall_all
+        session = self
+        stall_counter = self.registry.counter("backoff_stall_cycles_total")
+
+        @functools.wraps(original)
+        def wrapped(cycles):
+            if cycles > 0:
+                session.stall_cycles_total += cycles
+                session._event("stall", ts=scheduler.now(), cycles=cycles)
+                stall_counter.inc(cycles)
+            return original(cycles)
+
+        self._install(scheduler, "stall_all", wrapped)
+
+    def _wrap_execute(self, scheduler) -> None:
+        executor = scheduler.executor
+        original = executor.execute
+        session = self
+        system = scheduler.system
+
+        @functools.wraps(original)
+        def wrapped(tid, op, now=0):
+            session._in_op = True
+            session._op_now = now
+            session._op_overflow = False
+            try:
+                value, latency = original(tid, op, now=now)
+            finally:
+                session._in_op = False
+            ctx = system.contexts.get(tid)
+            vid = ctx.vid if ctx is not None else 0
+            session._seq += 1
+            pretag = "overflow" if session._op_overflow else None
+            index = len(session.samples)
+            session.samples.append(
+                [session._seq, tid, now, latency, vid, pretag])
+            session._tid_sample_idx.setdefault(tid, []).append(index)
+            return value, latency
+
+        self._install(executor, "execute", wrapped)
+
+    # ------------------------------------------------------------------
+    # End-of-run metric snapshot + reconciliation
+    # ------------------------------------------------------------------
+
+    def _snapshot_stats(self, system) -> None:
+        registry = self.registry
+        stats = getattr(system, "stats", None)
+        if stats is not None:
+            registry.counter("spec_accesses_total", kind="load") \
+                .inc(stats.spec_loads)
+            registry.counter("spec_accesses_total", kind="store") \
+                .inc(stats.spec_stores)
+            registry.counter("slas_sent_total").inc(stats.slas_sent)
+            registry.counter("wrong_path_loads_total") \
+                .inc(stats.wrong_path_loads)
+            contention = stats.contention
+            registry.counter("txctl_retries_total").inc(contention.retries)
+            registry.counter("txctl_backoff_cycles_total") \
+                .inc(contention.backoff_cycles)
+            registry.counter("txctl_serialized_recoveries_total") \
+                .inc(contention.serialized_recoveries)
+            registry.counter("txctl_fallback_entries_total") \
+                .inc(contention.fallback_entries)
+            registry.counter("txctl_fallback_iterations_total") \
+                .inc(contention.fallback_iterations)
+            for level, count in sorted(contention.escalations.items()):
+                registry.counter("txctl_escalations_total",
+                                 level=level).inc(count)
+        hierarchy = getattr(system, "hierarchy", None)
+        hstats = getattr(hierarchy, "stats", None)
+        if hasattr(hstats, "bus_snoops"):
+            for name in ("loads", "stores", "bus_snoops", "peer_transfers",
+                         "memory_fetches", "ss_invalidations",
+                         "bus_wait_cycles", "nonspec_overflows",
+                         "overflow_retrievals", "spec_overflow_spills"):
+                registry.counter(f"coherence_{name}_total") \
+                    .inc(getattr(hstats, name))
+            for cache in list(hierarchy.l1s) + [hierarchy.l2]:
+                registry.counter("cache_hits_total",
+                                 cache=cache.name).inc(cache.stats.hits)
+                registry.counter("cache_misses_total",
+                                 cache=cache.name).inc(cache.stats.misses)
+                registry.counter("cache_version_copies_total",
+                                 cache=cache.name) \
+                    .inc(cache.stats.version_copies)
+
+    def reconcile(self, stats) -> Dict[str, Any]:
+        """Check observed lifecycle events against SystemStats totals.
+
+        The acceptance contract: per-VID commit spans and abort-cause
+        counters must match the system's own accounting *exactly* — the
+        session wraps sit outside the backend, so every commit and every
+        classified abort passes through them exactly once.
+        """
+        commits_observed = sum(1 for s in self.all_spans()
+                               if s.outcome == "commit")
+        aborts_observed = sum(1 for e in self.events if e["kind"] == "abort")
+        by_cause_observed: Dict[str, int] = {}
+        for event in self.events:
+            if event["kind"] == "abort":
+                cause = event["cause"]
+                by_cause_observed[cause] = by_cause_observed.get(cause, 0) + 1
+        by_cause_stats = {k: v for k, v in stats.contention.by_cause.items()
+                          if v}
+        checks = {
+            "commits": {"observed": commits_observed,
+                        "stats": stats.committed},
+            "aborts": {"observed": aborts_observed, "stats": stats.aborted},
+            "aborts_by_cause": {"observed": by_cause_observed,
+                                "stats": by_cause_stats},
+        }
+        ok = all(c["observed"] == c["stats"] for c in checks.values())
+        return {"ok": ok, "checks": checks}

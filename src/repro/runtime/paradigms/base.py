@@ -29,6 +29,7 @@ from ...cpu.core_model import CoreExecutor
 from ...cpu.interrupts import InterruptInjector
 from ...cpu.isa import Op, Work
 from ...errors import MisspeculationError
+from ...obs import hooks as _obs
 from ...txctl import Action, ContentionManager, SerialFallback
 from ...workloads.base import Workload
 from ..scheduler import RunResult, Scheduler
@@ -75,14 +76,23 @@ def fresh_system(config: Optional[MachineConfig], sla_enabled: bool,
     ``system_factory`` wins when given; otherwise ``backend`` names a
     registry entry (default ``"hmtx"``).  ``sla_enabled`` is forwarded
     only to factories that take it (SLAs are an HMTX-hardware concern).
+
+    This is the universal construction choke point — every paradigm and
+    every backend funnels through it — so it doubles as the observability
+    attach site: when an :mod:`repro.obs` session is active, the freshly
+    built system is handed to it before any instruction executes.
     """
     if system_factory is not None:
-        return system_factory()
-    factory = get_backend(backend or "hmtx")
-    kwargs: Dict[str, Any] = {"config": config}
-    if "sla_enabled" in inspect.signature(factory).parameters:
-        kwargs["sla_enabled"] = sla_enabled
-    return factory(**kwargs)
+        system = system_factory()
+    else:
+        factory = get_backend(backend or "hmtx")
+        kwargs: Dict[str, Any] = {"config": config}
+        if "sla_enabled" in inspect.signature(factory).parameters:
+            kwargs["sla_enabled"] = sla_enabled
+        system = factory(**kwargs)
+    if _obs.active is not None:
+        _obs.active.attach_system(system)
+    return system
 
 
 def make_scheduler(system: TMBackend,
@@ -90,7 +100,10 @@ def make_scheduler(system: TMBackend,
                    executor_factory: Optional[Callable[[TMBackend], CoreExecutor]],
                    ) -> Scheduler:
     executor = executor_factory(system) if executor_factory else None
-    return Scheduler(system, executor=executor, interrupts=interrupts)
+    scheduler = Scheduler(system, executor=executor, interrupts=interrupts)
+    if _obs.active is not None:
+        _obs.active.attach_scheduler(scheduler)
+    return scheduler
 
 
 # ----------------------------------------------------------------------
@@ -103,11 +116,32 @@ def allocate_vid_with_stall(system: TMBackend) -> Program:
     Yields stall ops while the VID space is exhausted; performs the VID
     reset once every outstanding transaction has committed.  The generator's
     return value is the fresh VID.
+
+    The spin ops are plain :class:`~repro.cpu.isa.Work` — indistinguishable
+    from useful work at the executor — so when an observability session is
+    active the loop additionally counts its polls and retags them as
+    VID-reset quiesce time on exit.  The untraced branch is the original
+    loop verbatim: identical op stream, zero overhead.
     """
+    obs = _obs.active
+    if obs is None:
+        while True:
+            try:
+                return system.allocate_vid()
+            except VidExhaustedError:
+                if system.ready_for_vid_reset():
+                    yield Work(system.vid_reset())
+                else:
+                    yield Work(_SPIN_COST)
+    spins = 0
     while True:
         try:
-            return system.allocate_vid()
+            vid = system.allocate_vid()
+            if spins:
+                obs.record_spin("vid_reset", vid, spins)
+            return vid
         except VidExhaustedError:
+            spins += 1
             if system.ready_for_vid_reset():
                 yield Work(system.vid_reset())
             else:
@@ -121,20 +155,43 @@ def wait_for_epoch(system: TMBackend, epoch: int) -> Program:
     may start only after all ``max_vid`` transactions of epoch ``e - 1``
     committed and one thread performed the reset.
     """
+    obs = _obs.active
     max_vid = system.vid_space.max_vid
+    if obs is None:
+        while system.vid_space.resets < epoch:
+            done_epochs = system.vid_space.resets + 1
+            if system.stats.committed >= done_epochs * max_vid \
+                    and not system.active_vids:
+                yield Work(system.vid_reset())
+            else:
+                yield Work(_SPIN_COST)
+        return
+    spins = 0
     while system.vid_space.resets < epoch:
+        spins += 1
         done_epochs = system.vid_space.resets + 1
         if system.stats.committed >= done_epochs * max_vid \
                 and not system.active_vids:
             yield Work(system.vid_reset())
         else:
             yield Work(_SPIN_COST)
+    if spins:
+        obs.record_spin("vid_reset", 0, spins)
 
 
 def wait_commit_turn(system: TMBackend, vid: int) -> Program:
     """Spin until ``vid - 1`` has committed (in-order commit contract)."""
+    obs = _obs.active
+    if obs is None:
+        while system.last_committed != vid - 1:
+            yield Work(_SPIN_COST)
+        return
+    spins = 0
     while system.last_committed != vid - 1:
+        spins += 1
         yield Work(_SPIN_COST)
+    if spins:
+        obs.record_spin("commit_stall", vid, spins)
 
 
 # ----------------------------------------------------------------------

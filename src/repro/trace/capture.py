@@ -36,12 +36,21 @@ Event kinds produced:
 Wrong-path (squashed) loads are deliberately *not* recorded: they are
 architecturally invisible, and the race detector must not treat them as
 real reads.
+
+The event store is a **ring**: past ``capacity`` the *oldest* event is
+evicted for each new one, so a long run always keeps its most recent
+window (where the interesting endgame usually is) instead of silently
+freezing at the start.  ``dropped_events`` counts the evictions;
+:func:`~repro.trace.format.format_trace` surfaces it in the header and
+the race detector reports any truncated trace as a hard finding (rule
+``RC000`` — a racecheck over a partial window proves nothing).
 """
 
 from __future__ import annotations
 
 import functools
-from typing import Callable, Dict, List, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
 
 from ..errors import MisspeculationError
 from .events import TraceEvent
@@ -64,10 +73,18 @@ class BackendTracer:
     def __init__(self, system, capacity: int = 1_000_000) -> None:
         self.system = system
         self.capacity = capacity
-        self.events: List[TraceEvent] = []
+        #: Ring of the most recent ``capacity`` events (oldest evicted
+        #: first).  A deque without ``maxlen`` so ``capacity`` can be
+        #: adjusted after construction (tests do).
+        self.events: Deque[TraceEvent] = deque()
         self.dropped = 0
         self._seq = 0
         self._originals: Dict[str, Callable] = {}
+
+    @property
+    def dropped_events(self) -> int:
+        """Events evicted from the ring (0 means the trace is complete)."""
+        return self.dropped
 
     # ------------------------------------------------------------------
 
@@ -89,9 +106,9 @@ class BackendTracer:
     def record(self, kind: str, core: Optional[int] = None,
                vid: Optional[int] = None, addr: Optional[int] = None,
                detail: str = "", value: Optional[int] = None) -> None:
-        if len(self.events) >= self.capacity:
+        while len(self.events) >= self.capacity:
+            self.events.popleft()
             self.dropped += 1
-            return
         self._seq += 1
         self.events.append(TraceEvent(self._seq, kind, core, vid, addr,
                                       detail, value))

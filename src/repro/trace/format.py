@@ -8,12 +8,21 @@ from .events import TraceEvent
 
 
 def format_trace(events: Iterable[TraceEvent],
-                 limit: Optional[int] = None) -> str:
-    """One line per event, in sequence order."""
+                 limit: Optional[int] = None,
+                 dropped: int = 0) -> str:
+    """One line per event, in sequence order.
+
+    ``dropped`` (a ring tracer's ``dropped_events``) is surfaced in the
+    header so a truncated window is never mistaken for a full trace.
+    """
     events = list(events)
     shown = events if limit is None else events[:limit]
     lines = ["   seq kind           details",
              "------ -------------- ----------------------------------"]
+    if dropped:
+        lines.insert(
+            0, f"!! ring overflow: {dropped} oldest events dropped "
+               f"(showing the most recent {len(events)})")
     lines += [event.render() for event in shown]
     if limit is not None and len(events) > limit:
         lines.append(f"... ({len(events) - limit} more events)")

@@ -1,0 +1,63 @@
+"""Unit tests for the metrics registry."""
+
+from __future__ import annotations
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_caching_and_inc(self):
+        registry = MetricsRegistry()
+        a = registry.counter("aborts_total", cause="conflict")
+        b = registry.counter("aborts_total", cause="conflict")
+        assert a is b
+        a.inc()
+        b.inc(2)
+        assert registry.counter("aborts_total", cause="conflict").value == 3
+
+    def test_label_sets_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("aborts_total", cause="conflict").inc()
+        registry.counter("aborts_total", cause="capacity").inc(5)
+        snap = registry.collect()
+        assert snap["counters"]['aborts_total{cause="conflict"}'] == 1
+        assert snap["counters"]['aborts_total{cause="capacity"}'] == 5
+
+    def test_gauge_set_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("spec_footprint_bytes_peak")
+        gauge.set_max(128)
+        gauge.set_max(64)
+        assert gauge.value == 128
+
+    def test_histogram_buckets_cumulative(self):
+        hist = Histogram(buckets=(10, 100))
+        for value in (5, 7, 50, 1000):
+            hist.observe(value)
+        assert dict(hist.cumulative()) == {"10": 2, "100": 3, "+Inf": 4}
+        assert hist.count == 4
+        assert hist.total == 5 + 7 + 50 + 1000
+        assert hist.mean == hist.total / 4
+
+    def test_collect_is_sorted_and_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("z_total").inc()
+            registry.counter("a_total", x="2").inc()
+            registry.counter("a_total", x="1").inc()
+            registry.gauge("g").set(7)
+            registry.histogram("h", buckets=(1,)).observe(1)
+            return registry
+        assert build().collect() == build().collect()
+        counters = build().collect()["counters"]
+        assert list(counters) == sorted(counters)
+
+    def test_format_text_one_series_per_line(self):
+        registry = MetricsRegistry()
+        registry.counter("tx_commits_total").inc(3)
+        registry.histogram("commit_latency_cycles",
+                           buckets=(8,)).observe(4)
+        text = registry.format_text()
+        assert "tx_commits_total 3" in text
+        assert 'commit_latency_cycles_bucket{le="8"} 1' in text
+        assert "commit_latency_cycles_count 1" in text
