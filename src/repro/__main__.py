@@ -265,6 +265,12 @@ def main(argv=None) -> int:
         help="observe one run: metrics, transaction timeline, cycle profile")
     p.set_defaults(command="obs")
 
+    p = sub.add_parser(
+        "svc", add_help=False,
+        help="service workloads: tail-latency artifact, adversarial "
+             "search, survivor replay")
+    p.set_defaults(command="svc")
+
     p = sub.add_parser("run", help="run one benchmark under one system")
     p.add_argument("benchmark", choices=BENCHMARK_NAMES)
     p.add_argument("--system", default="hmtx",
@@ -290,6 +296,10 @@ def main(argv=None) -> int:
         # obs owns its full flag set (and --help) too.
         from .obs.cli import main as obs_main
         return obs_main(argv[1:])
+    if argv[:1] == ["svc"]:
+        # svc owns its full flag set (and --help) too.
+        from .svc.cli import main as svc_main
+        return svc_main(argv[1:])
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)

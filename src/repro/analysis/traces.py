@@ -38,8 +38,8 @@ def default_workloads() -> Tuple[str, ...]:
 def _build_workload(name: str, scale: float):
     if name in BENCHMARK_NAMES:
         return make_benchmark(name, scale)
-    from ..experiments.engine import RunRequest, build_workload  # lint-ok: RL005 (only needed for non-suite workload names; keeps the sweep engine out of the analyze fast path)
-    return build_workload(RunRequest(workload=name, scale=scale))
+    from ..workloads import make_workload  # lint-ok: RL005 (only needed for non-suite workload names, e.g. svc survivors; keeps optional subsystems out of the analyze fast path)
+    return make_workload(name, scale)
 
 
 def capture_trace(backend: str, workload_name: str,

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from .branch import BranchPredictor, GsharePredictor
 from .isa import (
     AbortMTX,
+    Arrive,
     BeginMTX,
     Branch,
     CommitMTX,
@@ -103,6 +104,13 @@ class CoreExecutor:
             return None, result.latency
         if cls is Branch:
             return None, self._execute_branch(tid, op)
+        if cls is Arrive:
+            # Open-loop arrival: idle until the request's timestamp, or —
+            # when the core is already past it — charge nothing and hand
+            # the accumulated queue wait back to the generator.
+            if op.ts > now:
+                return 0, op.ts - now
+            return now - op.ts, 0
         if cls is BeginMTX:
             return None, self.system.begin_mtx(tid, op.vid)
         if cls is CommitMTX:

@@ -71,6 +71,23 @@ class Branch(Op):
 
 
 @dataclass(frozen=True)
+class Arrive(Op):
+    """Open-loop request arrival: wait until simulated time ``ts``.
+
+    Service workloads (:mod:`repro.svc`) attach a pre-computed arrival
+    timestamp to each request so threads experience *queueing* rather
+    than closed-loop lockstep: if the core reaches this op before
+    ``ts``, it idles until the request exists; if it reaches it late,
+    the op is free and the generator receives the accumulated queue
+    wait (``now - ts``) as the op's value.  The op never touches the
+    memory system, so it is speculation-neutral — replaying it after an
+    abort just re-reads the (now past) arrival time.
+    """
+
+    ts: int
+
+
+@dataclass(frozen=True)
 class BeginMTX(Op):
     """``beginMTX(VID)``; VID 0 resumes non-speculative execution."""
 

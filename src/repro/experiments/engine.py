@@ -39,9 +39,8 @@ from ..power.mcpat import RunProfile
 from ..runtime.paradigms import ParadigmResult, run_workload
 from ..smtx import ValidationMode, run_smtx
 from ..txctl import ContentionManager, make_policy
-from ..workloads import executor_factory_for, make_benchmark
+from ..workloads import executor_factory_for, make_workload
 from ..workloads.base import Workload
-from ..workloads.contended import CapacityHogWorkload, HighContentionListWorkload
 
 #: Adversarial workloads runnable by name alongside the Table 1 suite.
 CONTENDED_WORKLOADS = ("contended-list", "capacity-hog")
@@ -82,12 +81,16 @@ class RunRequest:
     #: carries the cycle-attribution digest.  Distinct cache entry from
     #: the unobserved run even though the simulation is identical.
     observe: bool = False
+    #: Workload-factory keyword arguments as a sorted, hashable tuple of
+    #: ``(name, value)`` pairs (build with :func:`request_options`) —
+    #: how e.g. an svc seed reaches the factory through the registry.
+    options: Tuple[Tuple[str, Any], ...] = ()
 
     def key(self) -> Tuple:
         """Cache/dedupe key; hashes the (mutable) machine config."""
         return (self.workload, self.system, self.scale, self.paradigm,
                 self.policy, self.calibrated, self.repeat, self.observe,
-                config_digest(self.machine))
+                self.options, config_digest(self.machine))
 
 
 @dataclass(frozen=True)
@@ -184,14 +187,14 @@ class RunRecord:
 # Request execution (top-level, picklable: pool workers import this)
 # ----------------------------------------------------------------------
 
+def request_options(**options: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Workload-factory kwargs as the sorted tuple ``RunRequest`` wants."""
+    return tuple(sorted(options.items()))
+
+
 def build_workload(request: RunRequest) -> Workload:
-    if request.workload == "contended-list":
-        nodes = max(8, int(24 * request.scale))
-        return HighContentionListWorkload(nodes=nodes, rmw_per_iteration=2)
-    if request.workload == "capacity-hog":
-        iterations = max(2, int(4 * request.scale))
-        return CapacityHogWorkload(iterations=iterations)
-    return make_benchmark(request.workload, request.scale)
+    return make_workload(request.workload, request.scale,
+                         **dict(request.options))
 
 
 def _run(request: RunRequest) -> Tuple[Workload, ParadigmResult]:

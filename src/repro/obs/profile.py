@@ -178,6 +178,11 @@ def digest(session, attribution: Attribution,
         "spans": len(spans),
         "hot_conflict_lines": hot_lines(session.line_conflict_counts, top),
         "hot_access_lines": hot_lines(session.line_access_counts, top),
+        # Latency distributions (commit latency, svc queue wait/sojourn)
+        # as plain cumulative-bucket snapshots, so tail-quantile
+        # consumers can rebuild Histograms on the far side of a pool
+        # boundary (Histogram.from_cumulative).
+        "histograms": session.registry.collect()["histograms"],
     }
 
 

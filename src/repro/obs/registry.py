@@ -24,6 +24,14 @@ LabelKey = Tuple[Tuple[str, str], ...]
 DEFAULT_CYCLE_BUCKETS: Tuple[int, ...] = (
     4, 16, 64, 256, 1024, 4096, 16384, 65536)
 
+#: Finer-grained buckets for the svc tail-latency artifact: powers of
+#: two give ~2x quantile resolution across the commit-latency and
+#: queue-wait ranges the KV workloads produce (tens to tens of
+#: thousands of cycles).
+SVC_LATENCY_BUCKETS: Tuple[int, ...] = (
+    8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+    16384, 32768, 65536, 131072, 262144)
+
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
@@ -67,7 +75,8 @@ class Gauge:
 class Histogram:
     """Fixed-bucket cumulative histogram (``le`` semantics + sum/count)."""
 
-    __slots__ = ("buckets", "counts", "overflow", "total", "count")
+    __slots__ = ("buckets", "counts", "overflow", "total", "count",
+                 "max_value")
 
     def __init__(self, buckets: Sequence[int] = DEFAULT_CYCLE_BUCKETS) -> None:
         self.buckets = tuple(buckets)
@@ -75,10 +84,13 @@ class Histogram:
         self.overflow = 0
         self.total = 0
         self.count = 0
+        self.max_value = 0
 
     def observe(self, value: int) -> None:
         self.total += value
         self.count += 1
+        if value > self.max_value:
+            self.max_value = value
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.counts[i] += 1
@@ -98,6 +110,74 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile, linearly interpolated within its bucket.
+
+        Bucketed estimate in the Prometheus ``histogram_quantile``
+        style: find the bucket holding the ``q * count``-th observation
+        and interpolate between its lower and upper bound.  The
+        overflow bucket (values above the last bound) interpolates up
+        to the tracked maximum, so tail quantiles stay finite and never
+        exceed an actually-observed value.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction must be in [0, 1]: {q!r}")
+        if self.count == 0:
+            return 0.0
+        if self.max_value == 0:
+            # Every observation was zero (or the snapshot predates max
+            # tracking and is all-zero anyway).
+            return 0.0
+        target = q * self.count
+        running = 0
+        lower = 0
+        for bound, count in zip(self.buckets, self.counts):
+            if count and running + count >= target:
+                fraction = (target - running) / count
+                value = lower + (bound - lower) * fraction
+                return min(float(value), float(self.max_value))
+            running += count
+            lower = bound
+        # Target lands in the overflow bucket: interpolate from the last
+        # bound toward the observed maximum.
+        if self.overflow:
+            fraction = (target - running) / self.overflow
+            fraction = min(max(fraction, 0.0), 1.0)
+            top = max(self.max_value, lower)
+            return float(lower + (top - lower) * fraction)
+        return min(float(lower), float(self.max_value))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state (the per-series dict ``collect`` renders)."""
+        return {
+            "buckets": {le: count for le, count in self.cumulative()},
+            "sum": self.total,
+            "count": self.count,
+            "max": self.max_value,
+        }
+
+    @classmethod
+    def from_cumulative(cls, snapshot: Dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from a :meth:`snapshot`-shaped dict.
+
+        Lets report consumers (the svc tail-latency artifact) compute
+        quantiles from digests that crossed a process boundary as plain
+        data.
+        """
+        bounds = sorted(int(le) for le in snapshot["buckets"]
+                        if le != "+Inf")
+        hist = cls(buckets=tuple(bounds))
+        running = 0
+        for i, bound in enumerate(bounds):
+            cum = snapshot["buckets"][str(bound)]
+            hist.counts[i] = cum - running
+            running = cum
+        hist.overflow = snapshot["buckets"].get("+Inf", running) - running
+        hist.count = snapshot["count"]
+        hist.total = snapshot["sum"]
+        hist.max_value = snapshot.get("max", 0)
+        return hist
 
 
 class MetricsRegistry:
@@ -144,11 +224,7 @@ class MetricsRegistry:
                   for (name, labels), inst in self._gauges.items()}
         histograms = {}
         for (name, labels), inst in self._histograms.items():
-            histograms[f"{name}{_render_labels(labels)}"] = {
-                "buckets": {le: count for le, count in inst.cumulative()},
-                "sum": inst.total,
-                "count": inst.count,
-            }
+            histograms[f"{name}{_render_labels(labels)}"] = inst.snapshot()
         return {
             "counters": dict(sorted(counters.items())),
             "gauges": dict(sorted(gauges.items())),

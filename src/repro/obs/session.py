@@ -37,10 +37,11 @@ from __future__ import annotations
 import functools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..cpu.isa import Arrive
 from ..errors import MisspeculationError
 from ..txctl.causes import classify
 from . import hooks
-from .registry import MetricsRegistry
+from .registry import SVC_LATENCY_BUCKETS, MetricsRegistry
 from .timeline import TxSpan
 
 #: How often (scheduler steps) the runnable-thread counter is sampled.
@@ -83,6 +84,12 @@ class ObsSession:
         self._op_now = 0
         self._op_overflow = False
         self._tid_sample_idx: Dict[int, List[int]] = {}
+        #: vid -> (arrival_ts, queue_wait) of the latest open-loop
+        #: request attempt; flushed into the svc histograms at commit so
+        #: aborted attempts never double-count (committed-attempt
+        #: semantics).
+        self._svc_pending: Dict[int, Tuple[int, int]] = {}
+        self._svc_hists = None
         self._originals: List[Tuple[Any, str, Callable]] = []
         self._finalized = False
 
@@ -169,6 +176,20 @@ class ObsSession:
             cycles += row[3]
         self.registry.counter("spin_cycles_total", category=category) \
             .inc(cycles)
+
+    def _svc_histograms(self):
+        """The open-loop latency instruments, created on first arrival.
+
+        Lazy so observed runs of non-service workloads keep their metric
+        snapshots free of empty svc series.
+        """
+        if self._svc_hists is None:
+            self._svc_hists = (
+                self.registry.histogram("svc_queue_wait_cycles",
+                                        buckets=SVC_LATENCY_BUCKETS),
+                self.registry.histogram("svc_commit_latency_cycles",
+                                        buckets=SVC_LATENCY_BUCKETS))
+        return self._svc_hists
 
     # ------------------------------------------------------------------
     # Clock resolution
@@ -356,6 +377,12 @@ class ObsSession:
             commits.inc()
             if isinstance(latency, int):
                 latency_hist.observe(latency)
+            pending = session._svc_pending.pop(vid, None)
+            if pending is not None:
+                arrival_ts, queue_wait = pending
+                queue_hist, sojourn_hist = session._svc_histograms()
+                queue_hist.observe(queue_wait)
+                sojourn_hist.observe(max(0, ts - arrival_ts))
             session._close_span(vid, ts, "commit")
             return latency
 
@@ -465,6 +492,17 @@ class ObsSession:
             session.samples.append(
                 [session._seq, tid, now, latency, vid, pretag])
             session._tid_sample_idx.setdefault(tid, []).append(index)
+            if type(op) is Arrive:
+                # The executor hands back the accumulated queue wait (0
+                # when the core idled until the arrival).  Speculative
+                # requests settle at commit; VID-0 (serial-fallback)
+                # requests have no commit, so record them here.
+                queue_wait = value if isinstance(value, int) else 0
+                if vid:
+                    session._svc_pending[vid] = (op.ts, queue_wait)
+                else:
+                    queue_hist, _ = session._svc_histograms()
+                    queue_hist.observe(queue_wait)
             return value, latency
 
         self._install(executor, "execute", wrapped)

@@ -1,0 +1,167 @@
+"""``python -m repro svc`` — tail latency, adversarial search, replay.
+
+Three modes, all deterministic for a fixed seed (outputs carry no wall
+clock, so equal invocations are byte-identical — the CI svc-smoke job
+diffs exactly this):
+
+latency (default)
+    Run the open-loop KV workload observed on each backend and print
+    per-backend p50/p90/p99/p999 commit-latency and queue-wait tables
+    (``--format json`` for the ``hmtx-svc-latency/1`` document).
+
+--search
+    Seeded mutate-and-score hill-climb over adversarial genomes;
+    optionally serialize the top survivors (``--survivors-dir``).
+
+--replay FILE [FILE ...]
+    Re-score committed survivor files; with ``--check``, exit non-zero
+    unless every survivor reproduces its recorded abort rate within
+    tolerance (the CI regression gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from .adversary import replay_survivor, search, write_survivors
+from .latency import (
+    DEFAULT_SYSTEMS,
+    latency_report,
+    render_json,
+    render_text,
+)
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        pathlib.Path(output).write_text(text if text.endswith("\n")
+                                        else text + "\n")
+        print(f"wrote {output}")
+    else:
+        print(text)
+
+
+def _cmd_latency(args) -> int:
+    report = latency_report(workload=args.workload, scale=args.scale,
+                            systems=tuple(args.systems.split(",")),
+                            seed=args.seed, jobs=args.jobs)
+    text = render_json(report) if args.format == "json" \
+        else render_text(report)
+    _emit(text, args.output)
+    return 0 if all(row["correct"] for row in report["rows"]) else 1
+
+
+def _cmd_search(args) -> int:
+    report = search(seed=args.seed, rounds=args.rounds,
+                    population=args.population)
+    if args.survivors_dir:
+        paths = write_survivors(report, args.survivors_dir,
+                                count=args.survivors,
+                                min_score=args.min_score)
+        report["survivors"] = paths
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n" \
+        if args.format == "json" else _render_search(report)
+    _emit(text, args.output)
+    return 0
+
+
+def _render_search(report) -> str:
+    lines = [f"svc adversarial search: seed {report['seed']}, "
+             f"{report['rounds']} rounds x {report['population']}, "
+             f"{report['evaluated']} genomes evaluated"]
+    for entry in report["leaderboard"][:5]:
+        genome = entry["genome"]
+        metrics = entry["metrics"]
+        genes = " ".join(f"{k}={v}" for k, v in sorted(genome.items()))
+        lines.append(f"  score {entry['score']:>9}  "
+                     f"aborts/commit {metrics['aborts_per_commit']}  "
+                     f"esc {metrics['escalations']}  "
+                     f"fallback {metrics['fallback_entries']}  | {genes}")
+    for path in report.get("survivors", []):
+        lines.append(f"  survivor: {path}")
+    return "\n".join(lines)
+
+
+def _cmd_replay(args) -> int:
+    results = [replay_survivor(path, tolerance=args.tolerance)
+               for path in args.replay]
+    text = json.dumps({"schema": "hmtx-svc-replay/1", "results": results},
+                      indent=2, sort_keys=True) + "\n" \
+        if args.format == "json" else "\n".join(
+            f"{r['name']}: recorded aborts/commit "
+            f"{r['recorded_aborts_per_commit']} observed "
+            f"{r['observed_aborts_per_commit']} (allowed delta "
+            f"{r['allowed_delta']}) -> {'ok' if r['ok'] else 'FAIL'}"
+            for r in results)
+    _emit(text, args.output)
+    if args.check and not all(r["ok"] for r in results):
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro svc",
+        description="service-scale KV/OLTP workloads: tail-latency "
+                    "artifact, adversarial search, survivor replay")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="master seed (default 42); equal seeds give "
+                             "byte-identical output")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--output", default=None,
+                        help="write the artifact to a file instead of "
+                             "stdout")
+    # latency mode ------------------------------------------------------
+    parser.add_argument("--workload", default="svc-kv",
+                        help="registered workload name (default svc-kv)")
+    parser.add_argument("--systems", default=",".join(DEFAULT_SYSTEMS),
+                        help="comma-separated backend list "
+                             f"(default {','.join(DEFAULT_SYSTEMS)})")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier (default 1.0)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="sweep-engine worker processes; output is "
+                             "byte-identical for every jobs value")
+    # search mode -------------------------------------------------------
+    parser.add_argument("--search", action="store_true",
+                        help="run the adversarial genome search instead "
+                             "of the latency artifact")
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--population", type=int, default=4)
+    parser.add_argument("--survivors-dir", default=None,
+                        help="serialize top genomes as survivor JSON "
+                             "files in this directory")
+    parser.add_argument("--survivors", type=int, default=2,
+                        help="how many survivors to write (default 2)")
+    parser.add_argument("--min-score", type=float, default=0.0,
+                        help="only genomes scoring at least this survive")
+    # replay mode -------------------------------------------------------
+    parser.add_argument("--replay", nargs="+", default=None,
+                        metavar="FILE",
+                        help="re-score survivor files instead of running "
+                             "the latency artifact")
+    parser.add_argument("--check", action="store_true",
+                        help="with --replay: fail unless every survivor "
+                             "reproduces its recorded abort rate")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative abort-rate tolerance for --check "
+                             "(default 0.25)")
+    args = parser.parse_args(argv)
+    if args.search and args.replay:
+        print("--search and --replay are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.search:
+        return _cmd_search(args)
+    if args.replay:
+        return _cmd_replay(args)
+    return _cmd_latency(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,9 @@ from .suite import (
     Table1Row,
     all_benchmarks,
     make_benchmark,
+    make_workload,
+    register_workload,
+    workload_names,
 )
 
 __all__ = [
@@ -46,4 +49,7 @@ __all__ = [
     "calibrated_executor_factory",
     "executor_factory_for",
     "make_benchmark",
+    "make_workload",
+    "register_workload",
+    "workload_names",
 ]

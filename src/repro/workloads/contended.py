@@ -157,3 +157,23 @@ class CapacityHogWorkload(Workload):
                      system.hierarchy.read_committed(self.out_region + i * 64)) \
                 & 0xFFFFFFFF
         return total
+
+
+# ----------------------------------------------------------------------
+# Registry factories (the ``scale`` parameterisations the sweep engine
+# historically special-cased; golden timelines depend on these exact
+# construction parameters)
+# ----------------------------------------------------------------------
+
+def contended_list_workload(scale: float = 1.0,
+                            **kwargs) -> HighContentionListWorkload:
+    params: dict = dict(nodes=max(8, int(24 * scale)), rmw_per_iteration=2)
+    params.update(kwargs)
+    return HighContentionListWorkload(**params)
+
+
+def capacity_hog_workload(scale: float = 1.0,
+                          **kwargs) -> CapacityHogWorkload:
+    params: dict = dict(iterations=max(2, int(4 * scale)))
+    params.update(kwargs)
+    return CapacityHogWorkload(**params)

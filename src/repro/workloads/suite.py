@@ -1,9 +1,19 @@
-"""The evaluated benchmark suite: 8 models and their Table 1 ground truth.
+"""The workload registry and the evaluated benchmark suite.
 
-``make_benchmark(name, scale)`` builds a model instance; ``scale`` grows or
-shrinks iteration counts and per-transaction work together (1.0 = the
-default simulation size used by the benchmarks; the paper's native sizes
-are ~1000x larger — see EXPERIMENTS.md).
+``make_workload(name, scale, **options)`` builds any registered workload
+by name — the 8 Table 1 benchmark models, the adversarial contention
+microbenchmarks, and the :mod:`repro.svc` service workloads all share
+this one lookup (mirroring the :mod:`repro.backends` registry: eager
+factories plus lazy ``(module, attr)`` entries, so importing the suite
+pulls in no optional subsystem).  New workloads plug in with
+:func:`register_workload` and immediately work everywhere a workload
+name is accepted: the sweep engine, ``python -m repro analyze``, and the
+svc CLI.
+
+``make_benchmark(name, scale)`` is the Table 1 view of the registry —
+it accepts only the 8 evaluated benchmarks (``scale`` grows or shrinks
+iteration counts; 1.0 = the default simulation size; the paper's native
+sizes are ~1000x larger — see EXPERIMENTS.md).
 
 ``PAPER_TABLE1`` records the published per-benchmark statistics so the
 reproduction reports paper-vs-measured side by side.
@@ -11,8 +21,9 @@ reproduction reports paper-vs-measured side by side.
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
 from .alvinn import AlvinnWorkload
 from .base import Workload
@@ -67,28 +78,105 @@ def _scaled(value: int, scale: float, minimum: int = 2) -> int:
     return max(minimum, round(value * scale))
 
 
-_FACTORIES: Dict[str, Callable[[float], Workload]] = {
-    "052.alvinn": lambda s: AlvinnWorkload(iterations=_scaled(32, s)),
-    "130.li": lambda s: LiWorkload(iterations=_scaled(8, s)),
-    "164.gzip": lambda s: GzipWorkload(iterations=_scaled(20, s)),
-    "186.crafty": lambda s: CraftyWorkload(iterations=_scaled(24, s)),
-    "197.parser": lambda s: ParserWorkload(iterations=_scaled(14, s)),
-    "256.bzip2": lambda s: Bzip2Workload(iterations=_scaled(8, s)),
-    "456.hmmer": lambda s: HmmerWorkload(iterations=_scaled(40, s)),
-    "ispell": lambda s: IspellWorkload(iterations=_scaled(64, s)),
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+
+#: A workload factory: ``factory(scale, **options) -> Workload``.
+WorkloadFactory = Callable[..., Workload]
+
+_FACTORIES: Dict[str, WorkloadFactory] = {}
+#: Lazy entries (import path + attribute) so the registry can name
+#: workloads from optional subsystems without importing them eagerly.
+_LAZY: Dict[str, Tuple[str, str]] = {
+    "contended-list": ("repro.workloads.contended",
+                       "contended_list_workload"),
+    "capacity-hog": ("repro.workloads.contended", "capacity_hog_workload"),
+    "svc-kv": ("repro.svc.kvstore", "kv_workload"),
+    "svc-kv-read": ("repro.svc.kvstore", "kv_read_workload"),
+    "svc-oltp": ("repro.svc.kvstore", "oltp_workload"),
+    "svc-adversary": ("repro.svc.adversary", "adversary_workload"),
 }
 
-BENCHMARK_NAMES = tuple(_FACTORIES)
+#: Names starting with this prefix resolve to serialized adversarial
+#: survivors: ``svc-survivor:<path to survivor JSON>``.
+SURVIVOR_PREFIX = "svc-survivor:"
+
+
+def register_workload(name: str, factory: WorkloadFactory) -> WorkloadFactory:
+    """Register ``factory`` under ``name``; duplicate names are an error."""
+    if name in _FACTORIES or name in _LAZY:
+        raise ValueError(f"workload {name!r} is already registered")
+    _FACTORIES[name] = factory
+    return factory
+
+
+def workload_names() -> Tuple[str, ...]:
+    """Every registered workload name (sorted; survivors excluded)."""
+    return tuple(sorted(set(_FACTORIES) | set(_LAZY)))
+
+
+def make_workload(name: str, scale: float = 1.0, **options) -> Workload:
+    """Instantiate any registered workload at the given size scale.
+
+    ``options`` are factory keyword arguments (e.g. ``seed=`` for the
+    svc family); factories that take none reject extras loudly.
+    """
+    if name.startswith(SURVIVOR_PREFIX):
+        from ..svc.adversary import survivor_workload  # lint-ok: RL005 (survivor replay only; keeps the svc subsystem out of suite imports)
+        return survivor_workload(name[len(SURVIVOR_PREFIX):], **options)
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        lazy = _LAZY.get(name)
+        if lazy is None:
+            raise KeyError(f"unknown workload {name!r}; "
+                           f"choose from {workload_names()}")
+        module_name, attr = lazy
+        factory = getattr(importlib.import_module(module_name), attr)
+        _FACTORIES[name] = factory
+    return factory(scale, **options)
+
+
+# ----------------------------------------------------------------------
+# The Table 1 suite, registered like everything else
+# ----------------------------------------------------------------------
+
+BENCHMARK_NAMES = ("052.alvinn", "130.li", "164.gzip", "186.crafty",
+                   "197.parser", "256.bzip2", "456.hmmer", "ispell")
+
+register_workload("052.alvinn",
+                  lambda s, **kw: AlvinnWorkload(iterations=_scaled(32, s),
+                                                 **kw))
+register_workload("130.li",
+                  lambda s, **kw: LiWorkload(iterations=_scaled(8, s), **kw))
+register_workload("164.gzip",
+                  lambda s, **kw: GzipWorkload(iterations=_scaled(20, s),
+                                               **kw))
+register_workload("186.crafty",
+                  lambda s, **kw: CraftyWorkload(iterations=_scaled(24, s),
+                                                 **kw))
+register_workload("197.parser",
+                  lambda s, **kw: ParserWorkload(iterations=_scaled(14, s),
+                                                 **kw))
+register_workload("256.bzip2",
+                  lambda s, **kw: Bzip2Workload(iterations=_scaled(8, s),
+                                                **kw))
+register_workload("456.hmmer",
+                  lambda s, **kw: HmmerWorkload(iterations=_scaled(40, s),
+                                                **kw))
+register_workload("ispell",
+                  lambda s, **kw: IspellWorkload(iterations=_scaled(64, s),
+                                                 **kw))
 
 
 def make_benchmark(name: str, scale: float = 1.0) -> Workload:
-    """Instantiate one benchmark model at the given size scale."""
-    if name not in _FACTORIES:
+    """Instantiate one Table 1 benchmark model at the given size scale."""
+    if name not in BENCHMARK_NAMES:
         raise KeyError(f"unknown benchmark {name!r}; "
-                       f"choose from {sorted(_FACTORIES)}")
-    return _FACTORIES[name](scale)
+                       f"choose from {sorted(BENCHMARK_NAMES)}")
+    return make_workload(name, scale)
 
 
 def all_benchmarks(scale: float = 1.0) -> Dict[str, Workload]:
     """Fresh instances of every benchmark model."""
-    return {name: make_benchmark(name, scale) for name in _FACTORIES}
+    return {name: make_benchmark(name, scale) for name in BENCHMARK_NAMES}

@@ -61,3 +61,94 @@ class TestInstruments:
         assert "tx_commits_total 3" in text
         assert 'commit_latency_cycles_bucket{le="8"} 1' in text
         assert "commit_latency_cycles_count 1" in text
+
+
+class TestQuantile:
+    def test_fraction_out_of_range_raises(self):
+        hist = Histogram(buckets=(10,))
+        for q in (-0.1, 1.1):
+            try:
+                hist.quantile(q)
+            except ValueError:
+                continue
+            raise AssertionError(f"quantile({q}) should raise")
+
+    def test_empty_histogram_is_zero(self):
+        hist = Histogram(buckets=(10, 100))
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(0.99) == 0.0
+
+    def test_uniform_distribution_quantiles(self):
+        # 1..100 into power-of-two-ish buckets: interpolation should
+        # land within one bucket's resolution of the exact quantile.
+        hist = Histogram(buckets=(8, 16, 32, 64, 128))
+        for value in range(1, 101):
+            hist.observe(value)
+        assert abs(hist.quantile(0.5) - 50) <= 4
+        # p90 falls in the (64, 128] bucket, whose width (and hence
+        # interpolation error, after capping at the observed max) is 64.
+        assert 64 < hist.quantile(0.9) <= 100
+        assert hist.quantile(1.0) == 100.0
+        assert hist.quantile(0.0) == 0.0
+
+    def test_quantiles_are_monotone_in_q(self):
+        hist = Histogram(buckets=(8, 64, 512, 4096))
+        for value in (3, 9, 70, 600, 5000, 12000, 90):
+            hist.observe(value)
+        qs = [hist.quantile(q) for q in
+              (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_quantile_never_exceeds_observed_max(self):
+        hist = Histogram(buckets=(8, 64, 512))
+        hist.observe(5)
+        hist.observe(20)
+        assert hist.quantile(0.999) <= 20
+        assert hist.max_value == 20
+
+    def test_overflow_bucket_interpolates_to_max(self):
+        hist = Histogram(buckets=(10,))
+        for value in (5, 100, 200, 1000):
+            hist.observe(value)
+        p999 = hist.quantile(0.999)
+        assert 10 < p999 <= 1000
+        assert hist.quantile(1.0) == 1000.0
+
+    def test_single_bucket_all_values_equal(self):
+        hist = Histogram(buckets=(64,))
+        for _ in range(10):
+            hist.observe(32)
+        assert 0 < hist.quantile(0.5) <= 32
+
+    def test_all_zero_observations(self):
+        hist = Histogram(buckets=(8,))
+        for _ in range(5):
+            hist.observe(0)
+        assert hist.quantile(0.99) == 0.0
+
+
+class TestSnapshotRoundTrip:
+    def test_from_cumulative_reproduces_quantiles(self):
+        hist = Histogram(buckets=(8, 64, 512, 4096))
+        for value in (3, 9, 70, 600, 5000, 12000, 90, 2):
+            hist.observe(value)
+        rebuilt = Histogram.from_cumulative(hist.snapshot())
+        assert rebuilt.buckets == hist.buckets
+        assert rebuilt.counts == hist.counts
+        assert rebuilt.overflow == hist.overflow
+        assert rebuilt.count == hist.count
+        assert rebuilt.total == hist.total
+        assert rebuilt.max_value == hist.max_value
+        for q in (0.5, 0.9, 0.99, 0.999):
+            assert rebuilt.quantile(q) == hist.quantile(q)
+
+    def test_from_cumulative_without_max_field(self):
+        # Snapshots written before max tracking: quantiles stay finite.
+        hist = Histogram(buckets=(8, 64))
+        for value in (4, 30, 500):
+            hist.observe(value)
+        snap = hist.snapshot()
+        del snap["max"]
+        rebuilt = Histogram.from_cumulative(snap)
+        assert rebuilt.max_value == 0
+        assert rebuilt.quantile(0.99) == 0.0

@@ -1,0 +1,130 @@
+"""Adversarial generator: seeded determinism, survivors, replay gate."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.engine import RunRequest, SweepEngine
+from repro.svc.adversary import (
+    SURVIVOR_SCHEMA,
+    AdversarialWorkload,
+    Genome,
+    evaluate_genome,
+    load_survivor,
+    replay_survivor,
+    search,
+    survivor_workload,
+    write_survivors,
+)
+from repro.workloads import make_workload
+from repro.workloads.common import Lcg
+
+SURVIVOR_DIR = pathlib.Path(__file__).parent / "survivors"
+SURVIVORS = sorted(SURVIVOR_DIR.glob("*.json"))
+
+
+class TestGenome:
+    def test_clamped_respects_bounds(self):
+        g = Genome(hot_keys=999, hot_pct=-5, footprint=0,
+                   iterations=10_000).clamped()
+        assert g.hot_keys == 32
+        assert g.hot_pct == 0
+        assert g.footprint == 1
+        assert g.iterations == 96
+
+    def test_mutate_stays_in_bounds_and_is_deterministic(self):
+        rng1, rng2 = Lcg(9), Lcg(9)
+        g1, g2 = Genome(), Genome()
+        for _ in range(200):
+            g1 = g1.mutate(rng1)
+            g2 = g2.mutate(rng2)
+            assert g1 == g2
+            assert g1 == g1.clamped()
+
+    def test_dict_roundtrip(self):
+        g = Genome(hot_keys=3, rmw_pct=80)
+        assert Genome.from_dict(g.to_dict()) == g
+
+    def test_from_dict_rejects_unknown_genes(self):
+        with pytest.raises(ValueError):
+            Genome.from_dict({"hot_keys": 2, "nope": 1})
+
+
+class TestEvaluation:
+    def test_evaluation_is_deterministic(self):
+        g = Genome(iterations=16)
+        assert evaluate_genome(g) == evaluate_genome(g)
+
+    def test_metrics_shape(self):
+        metrics = evaluate_genome(Genome(iterations=12))
+        for key in ("score", "aborts_per_commit", "escalations",
+                    "fallback_entries", "vid_reset_share",
+                    "abort_replay_share", "commit_stall_share",
+                    "correct", "commits", "aborts", "cycles"):
+            assert key in metrics
+        assert metrics["correct"] is True
+        assert metrics["score"] >= 0
+
+
+class TestSearch:
+    def test_equal_seeds_byte_identical(self):
+        a = search(seed=11, rounds=2, population=2)
+        b = search(seed=11, rounds=2, population=2)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_distinct_seeds_diverge(self):
+        a = search(seed=11, rounds=2, population=2)
+        b = search(seed=12, rounds=2, population=2)
+        assert json.dumps(a, sort_keys=True) != json.dumps(b, sort_keys=True)
+
+    def test_best_never_below_base_genome(self):
+        report = search(seed=11, rounds=2, population=2)
+        base_score = report["leaderboard"][-1]["score"]
+        assert report["best"]["score"] >= base_score
+
+    def test_write_survivors_roundtrip(self, tmp_path):
+        report = search(seed=11, rounds=1, population=2)
+        paths = write_survivors(report, tmp_path, count=1)
+        assert len(paths) == 1
+        data = load_survivor(paths[0])
+        assert data["schema"] == SURVIVOR_SCHEMA
+        workload = survivor_workload(paths[0])
+        assert isinstance(workload, AdversarialWorkload)
+        assert workload.genome == Genome.from_dict(data["genome"])
+
+    def test_load_survivor_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope/1"}))
+        with pytest.raises(ValueError):
+            load_survivor(path)
+
+
+@pytest.mark.skipif(not SURVIVORS, reason="no committed survivors")
+class TestCommittedSurvivors:
+    def test_at_least_two_survivors_committed(self):
+        assert len(SURVIVORS) >= 2
+
+    @pytest.mark.parametrize("path", SURVIVORS, ids=lambda p: p.stem)
+    def test_replay_reproduces_recorded_abort_rate(self, path):
+        result = replay_survivor(path)
+        assert result["correct"]
+        assert result["ok"], result
+
+    @pytest.mark.parametrize("path", SURVIVORS, ids=lambda p: p.stem)
+    def test_registry_resolves_survivor_names(self, path):
+        workload = make_workload(f"svc-survivor:{path}")
+        data = json.loads(path.read_text())
+        assert workload.genome == Genome.from_dict(data["genome"])
+
+    def test_engine_replay_jobs_invariant(self):
+        requests = [RunRequest(workload=f"svc-survivor:{path}",
+                               system=system, paradigm="DOALL",
+                               policy="backoff")
+                    for path in SURVIVORS for system in ("hmtx", "smtx")]
+        serial = [r.to_report() for r in SweepEngine(jobs=1).run(requests)]
+        pooled = [r.to_report() for r in SweepEngine(jobs=2).run(requests)]
+        assert serial == pooled
+        assert all(r["correct"] for r in serial)

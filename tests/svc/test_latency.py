@@ -1,0 +1,70 @@
+"""Tail-latency artifact: engine-jobs invariance and report shape."""
+
+from __future__ import annotations
+
+import json
+
+from repro.svc.latency import (
+    LATENCY_SCHEMA,
+    QUANTILES,
+    latency_report,
+    latency_spec,
+    render_json,
+    render_text,
+)
+
+_SCALE = 0.1
+
+
+class TestSpec:
+    def test_one_observed_request_per_system(self):
+        spec = latency_spec(scale=_SCALE, systems=("hmtx", "oracle"))
+        assert [r.system for r in spec.requests] == ["hmtx", "oracle"]
+        assert all(r.observe for r in spec.requests)
+        assert all(dict(r.options)["seed"] == 42 for r in spec.requests)
+
+    def test_seed_is_part_of_request_identity(self):
+        a = latency_spec(scale=_SCALE, seed=1).requests[0]
+        b = latency_spec(scale=_SCALE, seed=2).requests[0]
+        assert a.key() != b.key()
+
+
+class TestReport:
+    def test_jobs_do_not_change_the_artifact(self):
+        serial = latency_report(scale=_SCALE, jobs=1)
+        pooled = latency_report(scale=_SCALE, jobs=2)
+        assert json.dumps(serial, sort_keys=True) == \
+            json.dumps(pooled, sort_keys=True)
+
+    def test_report_shape_and_quantile_monotonicity(self):
+        report = latency_report(scale=_SCALE, systems=("hmtx", "smtx"))
+        assert report["schema"] == LATENCY_SCHEMA
+        assert [row["system"] for row in report["rows"]] == ["hmtx", "smtx"]
+        labels = [label for _, label in QUANTILES]
+        for row in report["rows"]:
+            assert row["correct"]
+            for key in ("commit_latency", "queue_wait"):
+                dist = row[key]
+                assert dist["count"] > 0
+                values = [dist[label] for label in labels]
+                assert values == sorted(values)
+                assert dist[labels[-1]] <= dist["max"]
+
+    def test_equal_seeds_byte_identical_output(self):
+        a = render_json(latency_report(scale=_SCALE, seed=42))
+        b = render_json(latency_report(scale=_SCALE, seed=42))
+        assert a == b
+
+    def test_distinct_seeds_change_the_artifact(self):
+        a = latency_report(scale=_SCALE, seed=42)
+        b = latency_report(scale=_SCALE, seed=43)
+        assert json.dumps(a, sort_keys=True) != \
+            json.dumps(b, sort_keys=True)
+
+    def test_render_text_tables(self):
+        report = latency_report(scale=_SCALE, systems=("hmtx",))
+        text = render_text(report)
+        assert "svc commit latency" in text
+        assert "svc queue wait" in text
+        assert "p999" in text
+        assert "hmtx" in text

@@ -1,0 +1,111 @@
+"""Determinism and distribution properties of the svc traffic models.
+
+The seeded-determinism contract is the foundation of the whole svc
+subsystem (byte-identical artifacts, reproducible survivors), so it is
+pinned with hypothesis property tests: equal seeds give identical
+streams, and the generators never touch the ``random`` module's global
+state.  Seed *divergence* is checked against fixed pairs rather than
+searched for — distinct LCG streams can legitimately collide on short
+projections.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.svc.traffic import BurstyArrivals, ZipfianSampler
+
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestZipfianSampler:
+    def test_rejects_empty_keyspace(self):
+        with pytest.raises(ValueError):
+            ZipfianSampler(0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS, n=st.integers(min_value=1, max_value=2000))
+    def test_equal_seeds_identical_streams(self, seed, n):
+        a = ZipfianSampler(n, seed=seed).sample_many(50)
+        b = ZipfianSampler(n, seed=seed).sample_many(50)
+        assert a == b
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS, n=st.integers(min_value=2, max_value=5000))
+    def test_samples_in_range(self, seed, n):
+        for rank in ZipfianSampler(n, seed=seed).sample_many(100):
+            assert 0 <= rank < n
+
+    def test_distinct_seeds_diverge(self):
+        for a, b in ((1, 2), (42, 43), (7, 1 << 20)):
+            sa = ZipfianSampler(1000, seed=a).sample_many(200)
+            sb = ZipfianSampler(1000, seed=b).sample_many(200)
+            assert sa != sb, (a, b)
+
+    def test_skew_favours_low_ranks(self):
+        # Zipf(0.99) over 10^4 keys: rank 0 alone should absorb a few
+        # percent of draws, and the top decile a clear majority.
+        samples = ZipfianSampler(10_000, seed=7).sample_many(2000)
+        top_decile = sum(1 for s in samples if s < 1000)
+        assert samples.count(0) >= 20
+        assert top_decile / len(samples) > 0.5
+
+    def test_theta_zero_is_roughly_uniform(self):
+        samples = ZipfianSampler(100, theta=0.0, seed=11).sample_many(5000)
+        assert samples.count(0) < 5000 * 0.05
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=SEEDS)
+    def test_does_not_touch_random_module(self, seed):
+        state = random.getstate()
+        ZipfianSampler(500, seed=seed).sample_many(100)
+        assert random.getstate() == state
+
+
+class TestBurstyArrivals:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS, count=st.integers(min_value=1, max_value=300))
+    def test_equal_seeds_identical_schedules(self, seed, count):
+        a = BurstyArrivals(seed).schedule(count)
+        b = BurstyArrivals(seed).schedule(count)
+        assert a == b
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS, count=st.integers(min_value=1, max_value=300))
+    def test_schedule_nondecreasing_and_sized(self, seed, count):
+        schedule = BurstyArrivals(seed).schedule(count)
+        assert len(schedule) == count
+        assert all(b >= a for a, b in zip(schedule, schedule[1:]))
+        assert schedule[0] >= 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=SEEDS)
+    def test_schedule_prefix_stable(self, seed):
+        # Asking for more arrivals extends the schedule; it never
+        # rewrites history (workload scale changes keep early arrivals).
+        short = BurstyArrivals(seed).schedule(50)
+        long = BurstyArrivals(seed).schedule(120)
+        assert long[:50] == short
+
+    def test_distinct_seeds_diverge(self):
+        for a, b in ((1, 2), (42, 43), (9, 1 << 19)):
+            assert BurstyArrivals(a).schedule(100) != \
+                BurstyArrivals(b).schedule(100), (a, b)
+
+    def test_bursts_are_denser_than_steady_phases(self):
+        gaps = BurstyArrivals(3, base_gap=64, burst_gap=8,
+                              idle_gap=600).gaps(400)
+        small = sum(1 for g in gaps if g <= 12)
+        large = sum(1 for g in gaps if g >= 32)
+        assert small > 0 and large > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=SEEDS)
+    def test_does_not_touch_random_module(self, seed):
+        state = random.getstate()
+        BurstyArrivals(seed).schedule(200)
+        assert random.getstate() == state
