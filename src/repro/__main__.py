@@ -141,12 +141,12 @@ def _cmd_all(args) -> int:
           f"jobs {args.jobs}, {os.cpu_count()} cpus)")
     if args.bench_output:
         _record_sweep_timing(pathlib.Path(args.bench_output), args, scale,
-                             wall)
+                             wall, runner.engine.spawn_overhead_seconds)
     return 0
 
 
 def _record_sweep_timing(path: pathlib.Path, args, scale: float,
-                         wall: float) -> None:
+                         wall: float, spawn_overhead: float = 0.0) -> None:
     """Merge this invocation's wall time into the sweep bench file."""
     data = {}
     if path.exists():
@@ -158,8 +158,11 @@ def _record_sweep_timing(path: pathlib.Path, args, scale: float,
     data["cpus"] = os.cpu_count()
     mode = "quick" if args.quick else "full"
     section = data.setdefault("runs", {}).setdefault(mode, {})
-    section[f"jobs-{args.jobs}"] = {"wall_seconds": round(wall, 2),
-                                    "scale": scale}
+    section[f"jobs-{args.jobs}"] = {
+        "wall_seconds": round(wall, 2),
+        "scale": scale,
+        "spawn_overhead_seconds": round(spawn_overhead, 3),
+    }
     serial = section.get("jobs-1", {}).get("wall_seconds")
     if serial:
         for key, run in section.items():

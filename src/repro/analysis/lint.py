@@ -36,6 +36,13 @@ Rule catalog (details in DESIGN.md section 10):
     Imports belong at module top level; a function-local import is only
     acceptable to break a cycle or defer a heavy optional stack, and the
     marker must say which.
+``RL006`` no per-access allocation in ``# hot-path`` functions
+    A function whose ``def`` line carries a ``# hot-path`` marker runs
+    per simulated memory access; container literals, comprehensions,
+    closures and object constructions inside it are allocation churn the
+    struct-of-arrays rewrite exists to avoid.  Constructing the result
+    object a ``return`` hands back (or an exception a ``raise`` throws on
+    the failure path) is the function's contract and is exempt.
 """
 
 from __future__ import annotations
@@ -54,6 +61,7 @@ LINT_RULES: Dict[str, str] = {
     "RL003": "__slots__ classes must not assign undeclared self attributes",
     "RL004": "RunRequest/cache-key code must not read wall-clock time",
     "RL005": "function-local imports require a lint-ok marker with a reason",
+    "RL006": "# hot-path functions must not allocate per access",
 }
 
 #: Exception classes whose raise sites must stamp ``cause=`` (RL001).
@@ -64,8 +72,8 @@ _CAUSE_STAMPED_ERRORS = {"MisspeculationError", "SpeculativeOverflowError"}
 _PURE_MODULES = ("coherence/protocol.py", "coherence/states.py",
                  "coherence/vid.py")
 _IMPURE_SEGMENTS = {"cache", "hierarchy", "directory", "memory", "line",
-                    "core", "core_model", "cpu", "runtime", "backends",
-                    "txctl", "experiments", "workloads"}
+                    "store", "core", "core_model", "cpu", "runtime",
+                    "backends", "txctl", "experiments", "workloads"}
 
 #: Scopes inside experiments/engine.py that must be wall-clock free
 #: (RL004): the frozen request plus every digest/key helper.
@@ -115,7 +123,8 @@ def _call_name(node: ast.Call) -> Optional[str]:
     return None
 
 
-def _rl001_cause_stamping(tree: ast.AST, rel: str) -> Iterable[Finding]:
+def _rl001_cause_stamping(tree: ast.AST, rel: str,
+                          lines: Sequence[str]) -> Iterable[Finding]:
     for node in ast.walk(tree):
         if not isinstance(node, ast.Raise) or \
                 not isinstance(node.exc, ast.Call):
@@ -133,7 +142,8 @@ def _rl001_cause_stamping(tree: ast.AST, rel: str) -> Iterable[Finding]:
             "the abort without exception-type guessing")
 
 
-def _rl002_protocol_purity(tree: ast.AST, rel: str) -> Iterable[Finding]:
+def _rl002_protocol_purity(tree: ast.AST, rel: str,
+                           lines: Sequence[str]) -> Iterable[Finding]:
     if not rel.endswith(_PURE_MODULES):
         return
     for node in ast.walk(tree):
@@ -155,7 +165,8 @@ def _rl002_protocol_purity(tree: ast.AST, rel: str) -> Iterable[Finding]:
                     "pure transition math (DESIGN.md section 2)")
 
 
-def _rl003_slots_discipline(tree: ast.AST, rel: str) -> Iterable[Finding]:
+def _rl003_slots_discipline(tree: ast.AST, rel: str,
+                            lines: Sequence[str]) -> Iterable[Finding]:
     for node in ast.walk(tree):
         if not isinstance(node, ast.ClassDef):
             continue
@@ -218,7 +229,8 @@ def _self_attr_target(node: ast.AST) -> Optional[str]:
     return None
 
 
-def _rl004_wallclock(tree: ast.AST, rel: str) -> Iterable[Finding]:
+def _rl004_wallclock(tree: ast.AST, rel: str,
+                     lines: Sequence[str]) -> Iterable[Finding]:
     if not rel.endswith(_CACHE_KEY_FILE):
         return
     for node in ast.walk(tree):
@@ -239,7 +251,8 @@ def _rl004_wallclock(tree: ast.AST, rel: str) -> Iterable[Finding]:
                         "(DESIGN.md section 8)")
 
 
-def _rl005_local_imports(tree: ast.AST, rel: str) -> Iterable[Finding]:
+def _rl005_local_imports(tree: ast.AST, rel: str,
+                         lines: Sequence[str]) -> Iterable[Finding]:
     def visit(node: ast.AST, in_function: bool) -> Iterable[Finding]:
         for child in ast.iter_child_nodes(node):
             if isinstance(child, (ast.Import, ast.ImportFrom)) \
@@ -258,12 +271,107 @@ def _rl005_local_imports(tree: ast.AST, rel: str) -> Iterable[Finding]:
     yield from visit(tree, False)
 
 
+#: The ``# hot-path`` marker naming functions RL006 polices.
+_HOT_PATH_MARKER = re.compile(r"#\s*hot-path\b")
+
+#: Lowercase builtins whose calls allocate a fresh container (RL006);
+#: CamelCase names are treated as object construction by convention.
+_ALLOCATING_BUILTINS = {"list", "dict", "set", "frozenset", "tuple",
+                        "bytearray", "sorted"}
+
+_CAMEL_CASE = re.compile(r"^[A-Z][A-Za-z0-9]*$")
+
+
+def _is_hot_function(node: ast.AST, lines: Sequence[str]) -> bool:
+    """True when the function's signature carries ``# hot-path``.
+
+    The marker may sit on any signature line (``def`` through the line
+    before the first body statement), so multi-line signatures can carry
+    it at either end.
+    """
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    end = node.body[0].lineno if node.body else node.lineno + 1
+    for lineno in range(node.lineno, end + 1):
+        if lineno - 1 < len(lines) and \
+                _HOT_PATH_MARKER.search(lines[lineno - 1]):
+            return True
+    return False
+
+
+def _rl006_hot_path_allocation(tree: ast.AST, rel: str,
+                               lines: Sequence[str]) -> Iterable[Finding]:
+    for node in ast.walk(tree):
+        if not _is_hot_function(node, lines):
+            continue
+        yield from _scan_hot_body(node, rel)
+
+
+def _scan_hot_body(func: ast.AST, rel: str) -> Iterable[Finding]:
+    #: Allocation nodes whose *direct* use as a return value or a raised
+    #: exception is the function's contract, not per-access churn.
+    exempt: Set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and \
+                isinstance(node.value, ast.Call):
+            exempt.add(id(node.value))
+        elif isinstance(node, ast.Raise) and \
+                isinstance(node.exc, ast.Call):
+            exempt.add(id(node.exc))
+            # The exception message may be built in the raise arguments
+            # (failure path: runs once, not per access).
+            for sub in ast.walk(node.exc):
+                exempt.add(id(sub))
+    for node in ast.walk(func):
+        if node is func or id(node) in exempt:
+            continue
+        kind = _allocation_kind(node)
+        if kind is None:
+            continue
+        yield Finding(
+            "RL006", SEVERITY_ERROR, f"{rel}:{node.lineno}",
+            f"{kind} inside # hot-path function {func.name}",
+            "this runs per simulated memory access; hoist the allocation "
+            "out of the hot path, or add '# lint-ok: RL006 (reason)' "
+            "explaining why it is not per-access (e.g. per-transaction, "
+            "per-epoch fold, or eviction-only)")
+
+
+def _allocation_kind(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.ListComp):
+        return "list comprehension"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.DictComp):
+        return "dict comprehension"
+    if isinstance(node, ast.GeneratorExp):
+        return "generator expression"
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, ast.Lambda):
+        return "lambda (closure creation)"
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return "nested function (closure creation)"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        name = node.func.id
+        if name in _ALLOCATING_BUILTINS:
+            return f"{name}() container construction"
+        if _CAMEL_CASE.match(name):
+            return f"object construction {name}(...)"
+    return None
+
+
 _RULE_CHECKS = (
     _rl001_cause_stamping,
     _rl002_protocol_purity,
     _rl003_slots_discipline,
     _rl004_wallclock,
     _rl005_local_imports,
+    _rl006_hot_path_allocation,
 )
 
 
@@ -275,9 +383,10 @@ def lint_source(source: str, rel: str) -> Tuple[List[Finding], int]:
         return [Finding("RL000", SEVERITY_ERROR, f"{rel}:{err.lineno}",
                         f"syntax error: {err.msg}")], 0
     suppressions = _Suppressions(source)
+    lines = source.splitlines()
     findings = []
     for check in _RULE_CHECKS:
-        for finding in check(tree, rel):
+        for finding in check(tree, rel, lines):
             lineno = int(finding.where.rsplit(":", 1)[1])
             if not suppressions.active(finding.rule, lineno):
                 findings.append(finding)

@@ -1,10 +1,9 @@
 """Set-associative, version-aware cache with lazy commit/abort processing.
 
 A :class:`VersionedCache` stores *versions* of cache lines: several
-:class:`~repro.coherence.line.CacheLine` objects with the same address but
-different ``(modVID, highVID)`` tags may coexist within one set
-(section 4.1).  The set index depends only on the address, so versions
-compete for the same ways.
+versions with the same address but different ``(modVID, highVID)`` tags may
+coexist within one set (section 4.1).  The set index depends only on the
+address, so versions compete for the same ways.
 
 Lazy commit/abort (section 5.3): commits and aborts are recorded by setting
 the per-cache ``LC_VID`` register and flash-setting the per-line CB/AB bits;
@@ -12,19 +11,30 @@ the actual Figure 6/7 transition of a line is applied the next time that
 line is touched or chosen as an eviction victim
 (:meth:`VersionedCache.process_lazy`).
 
+Struct-of-arrays layer (DESIGN.md section 13): resident versions live as
+slots in a per-cache :class:`~repro.coherence.store.LineStore` — parallel
+``bytearray``/``array`` columns for state codes, VIDs, addresses and the
+lazy-processing stamps.  The per-set lists, the per-base version buckets
+and the presence map all hold plain slot integers, so the hot sweeps
+(lookup, lazy folds, VID-reset scrubs, victim selection) run over
+contiguous arrays with no per-line object in sight.  Cold paths and tests
+get :class:`~repro.coherence.line.LineView` facades, identity-cached per
+slot; eviction victims come back as detached
+:class:`~repro.coherence.line.CacheLine` records.
+
 Fast-path layer (DESIGN.md, "Fast-path indexing") — pure implementation
 optimisations, invisible to the modelled protocol:
 
 * an **event epoch** bumped on every commit/abort/reset broadcast; a line
   stamped with the current epoch provably has no pending lazy events, so
   :meth:`process_lazy` returns without replaying anything;
-* a **per-base version index** (``line address -> [versions]``), so
+* a **per-base version index** (``line address -> [slots]``), so
   :meth:`versions`/:meth:`lookup` touch only the versions of the requested
   line instead of scanning the whole set;
 * maintained **snoop-filter counters**: the number of resident speculative
   lines (Figure 9 footprint) and of live ``S-M(modVID>0)`` lines (the
   section 5.4 "speculatively modified" assertion), kept exact through the
-  :meth:`~repro.coherence.line.CacheLine.retag` mutation funnel;
+  :meth:`_retag_slot` mutation funnel;
 * an optional **presence listener** through which the hierarchy maintains
   its ``address -> holding caches`` map, replacing scan-every-cache snoops
   with index lookups.
@@ -33,11 +43,26 @@ optimisations, invisible to the modelled protocol:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from .line import CacheLine
-from .protocol import abort_transition, commit_transition, reset_transition, version_hits
-from .states import State
+from .line import CacheLine, LineView
+from .protocol import (
+    abort_transition,
+    abort_transition_code,
+    commit_transition,
+    commit_transition_code,
+    reset_transition_code,
+    version_hits,
+)
+from .states import (
+    CODE_INVALID,
+    CODE_SE,
+    CODE_SM,
+    CODE_SO,
+    STATE_FROM_CODE,
+    State,
+)
+from .store import FREE_CODE, LineStore
 from .vid import CascadedComparator
 
 
@@ -78,8 +103,14 @@ State.SO.victim_class = _PRIORITY_SPEC_PINNED
 State.SM.victim_class = _PRIORITY_SPEC_PINNED
 State.SE.victim_class = _PRIORITY_SPEC_PINNED
 
+#: State code -> victim priority class (S-O with modVID == 0 is the one
+#: code whose class the sweep special-cases to overflowable).
+_VICTIM_CLASS_BY_CODE = bytes(
+    STATE_FROM_CODE[code].victim_class for code in range(len(STATE_FROM_CODE))
+)
 
-def victim_priority(line: CacheLine) -> int:
+
+def victim_priority(line) -> int:
     """Eviction priority class of a line (lower evicts first)."""
     state = line.state
     if state is State.SO and line.mod_vid == 0:
@@ -119,9 +150,11 @@ class VersionedCache:
         self.lc_vid = 0
         self.stats = CacheStats()
         self.comparator = CascadedComparator(bits=vid_bits)
-        #: Set lists, allocated on first touch (a 32 MB L2 has 16 k sets;
-        #: most runs touch a handful).
-        self._sets: Dict[int, List[CacheLine]] = {}
+        #: The struct-of-arrays slot arena holding every resident version.
+        self._store = LineStore()
+        #: Set lists of slot indices, allocated on first touch (a 32 MB L2
+        #: has 16 k sets; most runs touch a handful).
+        self._sets: Dict[int, List[int]] = {}
         self._tick = 0
         #: LC_VID snapshots at each abort broadcast (lazy abort processing).
         self._abort_history: List[int] = []
@@ -130,8 +163,10 @@ class VersionedCache:
         self._epoch = 0
         #: Epoch at which each set last had *every* line lazily processed.
         self._set_epochs: Dict[int, int] = {}
-        #: line address -> resident versions, in set-list (insertion) order.
-        self._by_base: Dict[int, List[CacheLine]] = {}
+        #: line address -> resident version slots, in set-list order.
+        self._by_base: Dict[int, List[int]] = {}
+        #: slot -> LineView facade (identity-cached; popped on slot free).
+        self._views: Dict[int, LineView] = {}
         #: Maintained counters backing the snoop filters.
         self._spec_lines = 0
         self._sm_live = 0
@@ -166,59 +201,93 @@ class VersionedCache:
             return (addr >> self._line_shift) & self._index_mask
         return (self.line_addr(addr) // self.line_size) % self.num_sets
 
-    def _touch(self, line: CacheLine) -> None:
-        self._tick += 1
-        line.lru_tick = self._tick
+    def _set_list(self, index: int) -> List[int]:
+        slots = self._sets.get(index)
+        if slots is None:
+            slots = self._sets[index] = []
+        return slots
 
-    def _set_list(self, index: int) -> List[CacheLine]:
-        lines = self._sets.get(index)
-        if lines is None:
-            lines = self._sets[index] = []
-        return lines
+    # ------------------------------------------------------------------
+    # Views and detached records
+    # ------------------------------------------------------------------
+
+    def _view(self, slot: int) -> LineView:
+        view = self._views.get(slot)
+        if view is None:
+            view = self._views[slot] = LineView(self, slot)
+        return view
+
+    def _make_record(self, slot: int) -> CacheLine:
+        """Snapshot a slot's columns into a detached CacheLine record."""
+        store = self._store
+        record = CacheLine(
+            store.addr[slot], STATE_FROM_CODE[store.state[slot]],
+            store.data[slot], store.mod_vid[slot], store.high_vid[slot],
+            store.seen_aborts[slot], store.lru_tick[slot])
+        record.epoch = store.epoch[slot]
+        return record
+
+    def _free_slot(self, slot: int) -> CacheLine:
+        """Release an unlinked slot, detaching its view onto a record."""
+        record = self._make_record(slot)
+        view = self._views.pop(slot, None)
+        if view is not None:
+            view._detach(record)
+        self._store.release(slot)
+        return record
 
     # ------------------------------------------------------------------
     # Index / filter maintenance
     # ------------------------------------------------------------------
 
-    def _index_add(self, line: CacheLine) -> None:
-        """Enter a line into the per-base index and filter counters."""
-        bucket = self._by_base.get(line.addr)
+    def _index_add_slot(self, slot: int) -> None:
+        """Enter a slot into the per-base index and filter counters."""
+        store = self._store
+        base = store.addr[slot]
+        bucket = self._by_base.get(base)
         if bucket is None:
-            bucket = self._by_base[line.addr] = []
+            bucket = self._by_base[base] = []
             if self.presence_listener is not None:
-                self.presence_listener(self, line.addr, True)
-        bucket.append(line)
-        line.cache = self
-        state = line.state
-        if state.speculative:
+                self.presence_listener(self, base, True)
+        bucket.append(slot)
+        code = store.state[slot]
+        if code >= CODE_SM:
             self._spec_lines += 1
-            if state is State.SM and line.mod_vid > 0:
+            if code == CODE_SM and store.mod_vid[slot] > 0:
                 self._sm_live += 1
 
-    def _index_remove(self, line: CacheLine) -> None:
-        """Drop a line from the per-base index and filter counters."""
-        bucket = self._by_base[line.addr]
-        bucket.remove(line)
+    def _index_remove_slot(self, slot: int) -> None:
+        """Drop a slot from the per-base index and filter counters."""
+        store = self._store
+        base = store.addr[slot]
+        bucket = self._by_base[base]
+        bucket.remove(slot)
         if not bucket:
-            del self._by_base[line.addr]
+            del self._by_base[base]
             if self.presence_listener is not None:
-                self.presence_listener(self, line.addr, False)
-        line.cache = None
-        state = line.state
-        if state.speculative:
+                self.presence_listener(self, base, False)
+        code = store.state[slot]
+        if code >= CODE_SM:
             self._spec_lines -= 1
-            if state is State.SM and line.mod_vid > 0:
+            if code == CODE_SM and store.mod_vid[slot] > 0:
                 self._sm_live -= 1
 
-    def _on_retag(self, line: CacheLine, state: State, mod_vid: int) -> None:
-        """Adjust filter counters for an in-place tag change (line.retag)."""
-        old = line.state
-        if old.speculative != state.speculative:
-            self._spec_lines += 1 if state.speculative else -1
-        old_sm = old is State.SM and line.mod_vid > 0
-        new_sm = state is State.SM and mod_vid > 0
+    def _retag_slot(self, slot: int, code: int, mod_vid: int,
+                    high_vid: int) -> None:  # hot-path
+        """Change a slot's state/VIDs, keeping the filter counters exact."""
+        store = self._store
+        old = store.state[slot]
+        old_spec = old >= CODE_SM
+        new_spec = code >= CODE_SM
+        if old_spec != new_spec:
+            self._spec_lines += 1 if new_spec else -1
+        old_sm = old == CODE_SM and store.mod_vid[slot] > 0
+        new_sm = code == CODE_SM and mod_vid > 0
         if old_sm != new_sm:
             self._sm_live += 1 if new_sm else -1
+        store.state[slot] = code
+        store.mod_vid[slot] = mod_vid
+        store.high_vid[slot] = high_vid
 
     @property
     def speculative_lines(self) -> int:
@@ -233,26 +302,81 @@ class VersionedCache:
     # Lazy commit/abort processing (section 5.3)
     # ------------------------------------------------------------------
 
-    def process_lazy(self, line: CacheLine) -> Optional[CacheLine]:
-        """Resolve a line's pending commit/abort transitions (section 5.3).
+    def _process_lazy_slot(self, slot: int) -> Optional[int]:  # hot-path
+        """Resolve a slot's pending commit/abort transitions (section 5.3).
 
-        Replays, in broadcast order, every event the line has not yet
-        processed: for each unseen abort, the commits up to the pre-abort
-        ``LC_VID`` apply first (Figure 6), then the abort (Figure 7);
-        finally the current ``LC_VID`` commit level applies.  Commit
-        processing needs no per-line pending bit because
-        :func:`~repro.coherence.protocol.commit_transition` is idempotent —
-        re-applying the current commit level to an up-to-date line is a
-        no-op.
+        The struct-of-arrays core of :meth:`process_lazy`: replays, in
+        broadcast order, every event the line has not yet processed — for
+        each unseen abort, the commits up to the pre-abort ``LC_VID`` apply
+        first (Figure 6), then the abort (Figure 7); finally the current
+        ``LC_VID`` commit level applies.
 
-        Fast path: a line stamped with the cache's current event epoch was
-        fully processed after the last broadcast, so the whole replay would
-        be a no-op and is skipped (no counter can differ — idempotent
-        commits bump no statistic, and ``seen_aborts`` is already current).
+        Returns the slot if the version survives, ``None`` if a transition
+        invalidated it (in which case it has been unlinked and freed).
+        """
+        store = self._store
+        epoch = self._epoch
+        if store.epoch[slot] == epoch:
+            return slot
+        history = self._abort_history
+        code = store.state[slot]
+        if code < CODE_SM:
+            store.seen_aborts[slot] = len(history)
+            store.epoch[slot] = epoch
+            return slot
+        stats = self.stats
+        mod = store.mod_vid[slot]
+        high = store.high_vid[slot]
+        seen = store.seen_aborts[slot]
+        pending = len(history)
+        while seen < pending:
+            lc_at_abort = history[seen]
+            seen += 1
+            store.seen_aborts[slot] = seen
+            code2, mod2, high2 = commit_transition_code(
+                code, mod, high, lc_at_abort)
+            stats.lazy_commits_processed += 1
+            code2, mod2, high2 = abort_transition_code(code2, mod2, high2)
+            stats.lazy_aborts_processed += 1
+            self._retag_slot(slot, code2, mod2, high2)
+            code, mod, high = code2, mod2, high2
+            if code == CODE_INVALID:
+                self._remove_slot(slot)
+                return None
+            if code < CODE_SM:
+                store.seen_aborts[slot] = pending
+                store.epoch[slot] = epoch
+                return slot
+        code2, mod2, high2 = commit_transition_code(code, mod, high, self.lc_vid)
+        if code2 != code or mod2 != mod or high2 != high:
+            stats.lazy_commits_processed += 1
+            self._retag_slot(slot, code2, mod2, high2)
+            if code2 == CODE_INVALID:
+                self._remove_slot(slot)
+                return None
+        store.epoch[slot] = epoch
+        return slot
 
-        Returns the line if it is still valid afterwards, or ``None`` if a
-        transition invalidated it (in which case it has been removed from
-        its set).
+    def process_lazy(self, line):
+        """Resolve a line's pending transitions; object-facade entry point.
+
+        Accepts a resident :class:`LineView` (the hot case, delegated to
+        :meth:`_process_lazy_slot`), a detached view, or a plain
+        :class:`CacheLine` record.  Returns the line if it is still valid
+        afterwards, or ``None`` if a transition invalidated it (in which
+        case it has been removed from its set).
+        """
+        if type(line) is LineView and line._snap is None:
+            if line.cache is self:
+                slot = line._slot
+                return line if self._process_lazy_slot(slot) is not None else None
+        return self._process_lazy_object(line)
+
+    def _process_lazy_object(self, line):
+        """Replay pending events on a detached record or foreign view.
+
+        Mirrors the object-model implementation exactly (counters included)
+        so behaviour for lines outside this cache's arena is unchanged.
         """
         epoch = self._epoch
         if line.epoch == epoch:
@@ -272,7 +396,6 @@ class VersionedCache:
             self.stats.lazy_aborts_processed += 1
             line.retag(state, mod, high)
             if state is State.INVALID:
-                self._remove(line)
                 return None
             if not state.speculative:
                 line.seen_aborts = len(history)
@@ -284,81 +407,118 @@ class VersionedCache:
             self.stats.lazy_commits_processed += 1
             line.retag(state, mod, high)
         if state is State.INVALID:
-            self._remove(line)
             return None
         line.epoch = epoch
         return line
 
-    def _remove(self, line: CacheLine) -> None:
-        if line.cache is not self:
-            return
-        self._set_list(self.set_index(line.addr)).remove(line)
-        self._index_remove(line)
+    def _remove_slot(self, slot: int) -> CacheLine:
+        """Unlink a resident slot from its set and index, and free it."""
+        store = self._store
+        self._set_list(self.set_index(store.addr[slot])).remove(slot)
+        self._index_remove_slot(slot)
+        return self._free_slot(slot)
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
 
-    def versions(self, addr: int) -> List[CacheLine]:
-        """All valid versions of ``addr`` present, lazily processed first."""
-        bucket = self._by_base.get(self.line_addr(addr))
+    def _process_bucket(self, base: int) -> Optional[List[int]]:  # hot-path
+        """Lazily process every version of ``base``; return the survivors.
+
+        Returns the (possibly shrunk) live bucket, or ``None`` when no
+        version survives.  Skips the replay entirely when every slot is
+        epoch-current — the sweep it skips would be an exact no-op.
+        """
+        bucket = self._by_base.get(base)
         if not bucket:
-            return []
+            return None
+        epochs = self._store.epoch
         epoch = self._epoch
-        for line in bucket:
-            if line.epoch != epoch:
+        for slot in bucket:
+            if epochs[slot] != epoch:
                 break
         else:
-            # Every version already processed since the last broadcast:
-            # no replay, no removal possible.
-            return bucket[:]
-        out = []
-        for line in list(bucket):
-            processed = self.process_lazy(line)
-            if processed is not None:
-                out.append(processed)
-        return out
+            return bucket
+        process = self._process_lazy_slot
+        # lint-ok: RL006 (epoch-gated fold: once per stale epoch, not per access)
+        for slot in list(bucket):
+            process(slot)
+        bucket = self._by_base.get(base)
+        return bucket if bucket else None
+
+    def versions(self, addr: int) -> List[LineView]:
+        """All valid versions of ``addr`` present, lazily processed first."""
+        bucket = self._process_bucket(self.line_addr(addr))
+        if bucket is None:
+            return []
+        view = self._view
+        return [view(slot) for slot in bucket]
 
     def effective_vid(self, req_vid: int) -> int:
         """Non-speculative requests use ``LC_VID`` for hit logic (5.3)."""
         return self.lc_vid if req_vid == 0 else req_vid
 
-    def lookup(self, addr: int, req_vid: int) -> Optional[CacheLine]:
-        """Return the unique version a request with ``req_vid`` hits, if any.
+    def lookup_slot(self, base: int, req_vid: int) -> Optional[int]:  # hot-path
+        """Slot of the unique version a request with ``req_vid`` hits, if any.
 
-        ``req_vid`` is the raw request VID; the LC_VID substitution for
-        non-speculative requests happens here.
+        ``base`` must already be the line address; ``req_vid`` is the raw
+        request VID (the LC_VID substitution for non-speculative requests
+        happens here).
         """
-        bucket = self._by_base.get(self.line_addr(addr))
+        bucket = self._by_base.get(base)
         if not bucket:
             return None
+        store = self._store
         if len(bucket) == 1:
-            line = bucket[0]
+            slot = bucket[0]
             # Dominant case: one resident non-speculative, fully-processed
             # version.  It hits any VID, engages no comparator, and cannot
             # collide with a second hit — skip the generic scan.
-            if line.epoch == self._epoch and not line.state.speculative:
+            if store.epoch[slot] == self._epoch and store.state[slot] < CODE_SM:
                 self._tick += 1
-                line.lru_tick = self._tick
-                return line
+                store.lru_tick[slot] = self._tick
+                return slot
         eff = self.lc_vid if req_vid == 0 else req_vid
+        bucket = self._process_bucket(base)
+        if bucket is None:
+            return None
+        state_col = store.state
+        mod_col = store.mod_vid
+        high_col = store.high_vid
+        compare = self.comparator.compare
         hit = None
-        comparator = self.comparator
-        for line in self.versions(addr):
-            if line.state.speculative:
+        for slot in bucket:
+            code = state_col[slot]
+            if code >= CODE_SM:
+                mod = mod_col[slot]
+                high = high_col[slot]
                 # Model the tag-check energy of the VID comparators (4.5).
-                comparator.compare(eff, line.mod_vid)
-                comparator.compare(eff, line.high_vid)
-            if version_hits(line.state, line.mod_vid, line.high_vid, eff):
+                compare(eff, mod)
+                compare(eff, high)
+                if code <= CODE_SE:
+                    hits = eff >= mod
+                else:
+                    hits = mod <= eff < high
+            else:
+                hits = code != CODE_INVALID
+            if hits:
                 if hit is not None:
                     raise AssertionError(
                         f"{self.name}: two versions hit VID {eff} at "
-                        f"0x{addr:x}: {hit} and {line}"
+                        f"0x{base:x}: {self._view(hit)!r} and {self._view(slot)!r}"
                     )
-                hit = line
+                hit = slot
         if hit is not None:
-            self._touch(hit)
+            self._tick += 1
+            store.lru_tick[hit] = self._tick
         return hit
+
+    def lookup(self, addr: int, req_vid: int) -> Optional[LineView]:
+        """Return the unique version a request with ``req_vid`` hits, if any."""
+        slot = self.lookup_slot(self.line_addr(addr), req_vid)
+        if slot is None:
+            return None
+        return self._view(slot)
 
     def has_latest_spec_version(self, addr: int) -> bool:
         """Is there an ``S-M`` version asserting "speculatively modified"?
@@ -374,41 +534,55 @@ class VersionedCache:
         (i.e. lazy processing would be a no-op), the answer is False without
         touching any line.
         """
-        bucket = self._by_base.get(self.line_addr(addr))
+        base = self.line_addr(addr)
+        bucket = self._by_base.get(base)
         if not bucket:
             return False
+        store = self._store
         if self._sm_live == 0:
+            epochs = store.epoch
             epoch = self._epoch
-            for line in bucket:
-                if line.epoch != epoch:
+            for slot in bucket:
+                if epochs[slot] != epoch:
                     break
             else:
                 return False
-        return any(
-            line.state is State.SM and line.mod_vid > 0
-            for line in self.versions(addr)
-        )
+        bucket = self._process_bucket(base)
+        if bucket is None:
+            return False
+        state_col = store.state
+        mod_col = store.mod_vid
+        for slot in bucket:
+            if state_col[slot] == CODE_SM and mod_col[slot] > 0:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Installation and eviction
     # ------------------------------------------------------------------
 
-    def install(self, line: CacheLine) -> List[CacheLine]:
-        """Insert a version, evicting as needed.
+    def install_slot(self, line: CacheLine) -> Tuple[int, List[CacheLine]]:
+        """Insert a version, evicting as needed; struct-of-arrays core.
 
         An existing version with the same ``(addr, modVID)`` is replaced
         (it is the same conceptual version, e.g. a stale shared copy).
-        Returns the evicted lines; the hierarchy decides whether they are
-        written back, passed down a level, overflowed to memory, or force
-        an abort (section 5.4).
+        Returns the new slot and the evicted lines as detached records;
+        the hierarchy decides whether they are written back, passed down a
+        level, overflowed to memory, or force an abort (section 5.4).
         """
+        store = self._store
+        base = line.addr
         spec = line.state.speculative
-        for existing in list(self._by_base.get(line.addr, ())):
-            if existing.mod_vid == line.mod_vid \
-                    and existing.state.speculative == spec:
-                self._remove(existing)
-        index = self.set_index(line.addr)
-        lines = self._set_list(index)
+        mod = line.mod_vid
+        bucket = self._by_base.get(base)
+        if bucket:
+            state_col = store.state
+            mod_col = store.mod_vid
+            for slot in list(bucket):
+                if mod_col[slot] == mod and (state_col[slot] >= CODE_SM) == spec:
+                    self._remove_slot(slot)
+        index = self.set_index(base)
+        slots = self._set_list(index)
         evicted: List[CacheLine] = []
         epoch = self._epoch
         while True:
@@ -417,49 +591,81 @@ class VersionedCache:
             # when the whole set is epoch-current — the replay would be a
             # no-op for every line.
             if self._set_epochs.get(index) != epoch:
-                for candidate in list(lines):
-                    self.process_lazy(candidate)
+                process = self._process_lazy_slot
+                for candidate in list(slots):
+                    process(candidate)
                 self._set_epochs[index] = epoch
-            if len(lines) < self.assoc:
+            if len(slots) < self.assoc:
                 break
-            victim = self._choose_victim(lines)
-            lines.remove(victim)
-            self._index_remove(victim)
-            evicted.append(victim)
-            if victim.state is not State.INVALID:
+            victim = self._choose_victim_slot(slots)
+            slots.remove(victim)
+            self._index_remove_slot(victim)
+            was_invalid = store.state[victim] == CODE_INVALID
+            evicted.append(self._free_slot(victim))
+            if not was_invalid:
                 # An INVALID fallback victim never really left the
                 # hierarchy; counting it would pollute the Table 1 /
                 # ablation eviction numbers.
                 self.stats.evictions += 1
+        slot = store.alloc(base, line.state.code, line.data, mod, line.high_vid)
         # A freshly installed line has no pending events in *this* cache.
-        line.seen_aborts = len(self._abort_history)
-        line.epoch = epoch
-        lines.append(line)
-        self._index_add(line)
-        self._touch(line)
+        store.seen_aborts[slot] = len(self._abort_history)
+        store.epoch[slot] = epoch
+        slots.append(slot)
+        self._index_add_slot(slot)
+        self._tick += 1
+        store.lru_tick[slot] = self._tick
+        return slot, evicted
+
+    def install(self, line: CacheLine) -> List[CacheLine]:
+        """Insert a version, evicting as needed; returns the evicted lines."""
+        _, evicted = self.install_slot(line)
         return evicted
 
-    def _choose_victim(self, lines: List[CacheLine]) -> CacheLine:
+    def _choose_victim_slot(self, slots: List[int]) -> int:  # hot-path
         """LRU within the lowest occupied priority class (section 5.4).
 
-        Callers have already lazily processed every line in the set.
+        Callers have already lazily processed every slot in the set.
         """
-        live = [line for line in lines if line.state is not State.INVALID]
-        if not live:
-            return lines[0]
-        return min(live, key=lambda l: (victim_priority(l), l.lru_tick))
+        store = self._store
+        state_col = store.state
+        mod_col = store.mod_vid
+        lru_col = store.lru_tick
+        classes = _VICTIM_CLASS_BY_CODE
+        best = -1
+        best_pr = 6
+        best_tick = 0
+        for slot in slots:
+            code = state_col[slot]
+            if code == CODE_INVALID:
+                continue
+            if code == CODE_SO and mod_col[slot] == 0:
+                pr = _PRIORITY_SPEC_OVERFLOWABLE
+            else:
+                pr = classes[code]
+            tick = lru_col[slot]
+            if best < 0 or pr < best_pr or (pr == best_pr and tick < best_tick):
+                best = slot
+                best_pr = pr
+                best_tick = tick
+        if best < 0:
+            return slots[0]
+        return best
 
-    def drop(self, line: CacheLine) -> None:
+    def drop(self, line) -> None:
         """Remove a version without writeback (silent invalidation)."""
-        self._remove(line)
+        if type(line) is LineView and line._snap is None and line.cache is self:
+            self._remove_slot(line._slot)
 
-    def all_lines(self) -> Iterable[CacheLine]:
-        for lines in self._sets.values():
-            yield from list(lines)
+    def all_lines(self) -> Iterable[LineView]:
+        view = self._view
+        for slots in self._sets.values():
+            for slot in list(slots):
+                yield view(slot)
 
     def occupancy(self) -> int:
         """Number of valid versions currently resident."""
-        return sum(len(lines) for lines in self._sets.values())
+        return sum(len(slots) for slots in self._sets.values())
 
     # ------------------------------------------------------------------
     # Broadcast operations (sections 4.4, 4.6, 5.3)
@@ -489,26 +695,34 @@ class VersionedCache:
         self._epoch += 1
         self._abort_history.append(self.lc_vid)
 
-    def vid_reset(self) -> None:
+    def vid_reset(self) -> None:  # hot-path
         """Apply the section 4.6 VID reset to this cache.
 
         Pending lazy transitions are resolved, then every surviving
-        speculative line is scrubbed: latest versions become plain M/E
-        ("this essentially commits them") and superseded copies die.
-        ``LC_VID`` returns to 0.
+        speculative line is scrubbed in one batched sweep over the state
+        columns: latest versions become plain M/E ("this essentially
+        commits them") and superseded copies die.  ``LC_VID`` returns to 0.
         """
         self.stats.vid_resets += 1
         self._epoch += 1
-        for line in self.all_lines():
-            processed = self.process_lazy(line)
-            if processed is None:
-                continue
-            new_state, (mod, high) = reset_transition(
-                processed.state, processed.mod_vid, processed.high_vid)
-            processed.retag(new_state, mod, high)
-            processed.seen_aborts = 0
-            if processed.state is State.INVALID:
-                self._remove(processed)
+        store = self._store
+        state_col = store.state
+        mod_col = store.mod_vid
+        high_col = store.high_vid
+        seen_col = store.seen_aborts
+        process = self._process_lazy_slot
+        retag = self._retag_slot
+        # lint-ok: RL006 (whole-cache scrub: once per VID reset, not per access)
+        for slots in list(self._sets.values()):  # lint-ok: RL006 (same)
+            for slot in list(slots):
+                if process(slot) is None:
+                    continue
+                code, mod, high = reset_transition_code(
+                    state_col[slot], mod_col[slot], high_col[slot])
+                retag(slot, code, mod, high)
+                seen_col[slot] = 0
+                if code == CODE_INVALID:
+                    self._remove_slot(slot)
         self._abort_history.clear()
         self.lc_vid = 0
 
@@ -516,17 +730,37 @@ class VersionedCache:
     # Debug support
     # ------------------------------------------------------------------
 
+    def _inject_line(self, line: CacheLine) -> LineView:
+        """Test hook: force a raw resident version in.
+
+        Bypasses replacement, eviction and lazy processing — the slot-arena
+        equivalent of appending a hand-built line straight onto a set list
+        (used to fabricate states the protocol itself would never produce).
+        """
+        store = self._store
+        slot = store.alloc(line.addr, line.state.code, line.data,
+                           line.mod_vid, line.high_vid)
+        store.seen_aborts[slot] = line.seen_aborts
+        store.epoch[slot] = line.epoch
+        store.lru_tick[slot] = line.lru_tick
+        self._set_list(self.set_index(line.addr)).append(slot)
+        self._index_add_slot(slot)
+        return self._view(slot)
+
     def check_index_integrity(self) -> None:
         """Assert the fast-path index and counters match the set lists."""
-        by_base: Dict[int, List[CacheLine]] = {}
+        store = self._store
+        by_base: Dict[int, List[int]] = {}
         spec = sm = 0
-        for lines in self._sets.values():
-            for line in lines:
-                by_base.setdefault(line.addr, []).append(line)
-                assert line.cache is self, f"{line!r} lost its owner backref"
-                if line.state.speculative:
+        for slots in self._sets.values():
+            for slot in slots:
+                code = store.state[slot]
+                assert code != FREE_CODE, (
+                    f"{self.name}: freed slot {slot} still linked in a set")
+                by_base.setdefault(store.addr[slot], []).append(slot)
+                if code >= CODE_SM:
                     spec += 1
-                    if line.state is State.SM and line.mod_vid > 0:
+                    if code == CODE_SM and store.mod_vid[slot] > 0:
                         sm += 1
         recorded = {base: list(bucket) for base, bucket in self._by_base.items()}
         assert by_base == recorded, f"{self.name}: per-base index diverged"
@@ -534,3 +768,8 @@ class VersionedCache:
             f"{self.name}: speculative-line counter {self._spec_lines} != {spec}")
         assert sm == self._sm_live, (
             f"{self.name}: S-M filter counter {self._sm_live} != {sm}")
+        for slot, view in self._views.items():
+            assert view._snap is None and view.cache is self, (
+                f"{self.name}: detached view still cached for slot {slot}")
+            assert view._slot == slot and store.state[slot] != FREE_CODE, (
+                f"{self.name}: view cache entry for slot {slot} is stale")

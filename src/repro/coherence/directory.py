@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from .cache import VersionedCache
 from .hierarchy import AccessKind, HierarchyConfig, MemoryHierarchy
-from .line import CacheLine
+from .line import CacheLine, LineView
 from .states import State
 
 
@@ -79,9 +79,9 @@ class DirectoryHierarchy(MemoryHierarchy):
     # Sharer-map maintenance
     # ------------------------------------------------------------------
 
-    def _install(self, cache: VersionedCache, line: CacheLine) -> None:
+    def _install(self, cache: VersionedCache, line: CacheLine) -> "LineView":
         self._sharers.setdefault(line.addr, set()).add(cache.name)
-        super()._install(cache, line)
+        return super()._install(cache, line)
 
     def _record_presence(self, cache: VersionedCache, addr: int) -> None:
         self._sharers.setdefault(addr, set()).add(cache.name)
@@ -168,8 +168,7 @@ class DirectoryHierarchy(MemoryHierarchy):
             line = CacheLine(base, State.SO, data, 0, eff + 1)
         else:
             line = CacheLine(base, State.EXCLUSIVE, data)
-        self._install(l1, line)
-        return line, latency, "memory"
+        return self._install(l1, line), latency, "memory"
 
     # ------------------------------------------------------------------
     # Invalidations become targeted multicasts

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..errors import MisspeculationError, SpeculativeOverflowError
 from ..txctl.causes import AbortCause
 from .cache import VersionedCache
-from .line import CacheLine
+from .line import CacheLine, LineView
 from .memory import MainMemory
 from .overflow import OverflowVersionTable
 from .protocol import (
@@ -38,7 +38,15 @@ from .protocol import (
     read_transition,
     write_outcome,
 )
-from .states import State
+from .states import (
+    CODE_EXCLUSIVE,
+    CODE_INVALID,
+    CODE_MODIFIED,
+    CODE_SE,
+    CODE_SM,
+    CODE_SS,
+    State,
+)
 
 
 @dataclass
@@ -69,20 +77,46 @@ class HierarchyConfig:
     unbounded_sets: bool = False
 
 
-@dataclass
 class AccessResult:
-    """Outcome of one load or store."""
+    """Outcome of one load or store.
 
-    value: int
-    latency: int
-    l1_hit: bool
-    served_by: str
-    #: True when a speculative load touched a version not yet marked with
-    #: its VID — exactly the condition under which an SLA message must be
-    #: sent once the load retires (section 5.1).
-    sla_required: bool = False
-    #: True when a speculative store created a fresh line version.
-    created_version: bool = False
+    A ``__slots__`` class rather than a dataclass: one is built per memory
+    access, so construction cost is on the simulator's critical path.
+    """
+
+    __slots__ = ("value", "latency", "l1_hit", "served_by",
+                 "sla_required", "created_version")
+
+    def __init__(self, value: int, latency: int, l1_hit: bool,
+                 served_by: str, sla_required: bool = False,
+                 created_version: bool = False) -> None:
+        self.value = value
+        self.latency = latency
+        self.l1_hit = l1_hit
+        self.served_by = served_by
+        #: True when a speculative load touched a version not yet marked
+        #: with its VID — exactly the condition under which an SLA message
+        #: must be sent once the load retires (section 5.1).
+        self.sla_required = sla_required
+        #: True when a speculative store created a fresh line version.
+        self.created_version = created_version
+
+    def __repr__(self) -> str:
+        return (f"AccessResult(value={self.value!r}, "
+                f"latency={self.latency!r}, l1_hit={self.l1_hit!r}, "
+                f"served_by={self.served_by!r}, "
+                f"sla_required={self.sla_required!r}, "
+                f"created_version={self.created_version!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not AccessResult:
+            return NotImplemented
+        return (self.value == other.value
+                and self.latency == other.latency
+                and self.l1_hit == other.l1_hit
+                and self.served_by == other.served_by
+                and self.sla_required == other.sla_required
+                and self.created_version == other.created_version)
 
 
 @dataclass
@@ -137,8 +171,34 @@ class MemoryHierarchy:
         #: so snoops, invalidations and scrubs only touch holding caches
         #: (DESIGN.md, "Fast-path indexing").
         self._holders: Dict[int, Set[VersionedCache]] = {}
-        for cache in self._all_caches():
+        # Precomputed cache orderings: the bus snoop / broadcast orders are
+        # fixed at construction, so the hot paths iterate tuples instead of
+        # rebuilding lists per access.
+        self._caches: Tuple[VersionedCache, ...] = ()
+        self._peer_lists: List[Tuple[VersionedCache, ...]] = []
+        self._rebuild_cache_lists()
+        # Word-index shift for the fused access fast path (power-of-two
+        # geometry only; anything else falls back to the generic path).
+        word = self.memory.word_size
+        self._word_shift = (word.bit_length() - 1
+                            if word & (word - 1) == 0 else None)
+        for cache in self._caches:
             cache.presence_listener = self._on_presence
+
+    def _rebuild_cache_lists(self) -> None:
+        caches: List[VersionedCache] = list(self.l1s) + [self.l2]
+        if self.overflow_table is not None:
+            caches.append(self.overflow_table)
+        self._caches = tuple(caches)
+        self._peer_lists = []
+        for core in range(len(self.l1s)):
+            peers = [c for i, c in enumerate(self.l1s) if i != core]
+            peers.append(self.l2)
+            if self.overflow_table is not None:
+                # Consulted last: a version found here pays memory latency
+                # plus the software-structure management cost.
+                peers.append(self.overflow_table)
+            self._peer_lists.append(tuple(peers))
 
     def _on_presence(self, cache: VersionedCache, base: int,
                      present: bool) -> None:
@@ -231,14 +291,14 @@ class MemoryHierarchy:
     def commit(self, vid: int) -> int:
         """Group-commit transaction ``vid`` everywhere; returns latency."""
         self.stats.commits += 1
-        for cache in self._all_caches():
+        for cache in self._caches:
             cache.broadcast_commit(vid)
         return self.config.broadcast_latency
 
     def abort(self) -> int:
         """Flush all uncommitted transactional state; returns latency."""
         self.stats.aborts += 1
-        for cache in self._all_caches():
+        for cache in self._caches:
             cache.broadcast_abort()
         return self.config.broadcast_latency
 
@@ -249,7 +309,7 @@ class MemoryHierarchy:
         software side guarantees this before raising the reset signal).
         """
         self.stats.vid_resets += 1
-        for cache in self._all_caches():
+        for cache in self._caches:
             cache.vid_reset()
         return self.config.broadcast_latency
 
@@ -303,22 +363,168 @@ class MemoryHierarchy:
         return (addr % self.config.line_size) // self.memory.word_size
 
     def _all_caches(self) -> List[VersionedCache]:
-        caches: List[VersionedCache] = self.l1s + [self.l2]
-        if self.overflow_table is not None:
-            caches.append(self.overflow_table)
-        return caches
+        return list(self._caches)
 
-    def _peer_caches(self, core: int) -> List[VersionedCache]:
-        peers = [c for i, c in enumerate(self.l1s) if i != core]
-        peers.append(self.l2)
-        if self.overflow_table is not None:
-            # Consulted last: a version found here pays memory latency plus
-            # the software-structure management cost.
-            peers.append(self.overflow_table)
-        return peers
+    def _peer_caches(self, core: int) -> Tuple[VersionedCache, ...]:
+        return self._peer_lists[core]
 
     def _access(self, core: int, addr: int, vid: int, kind: AccessKind,
-                value: Optional[int], now: int = 0) -> AccessResult:
+                value: Optional[int], now: int = 0) -> AccessResult:  # hot-path
+        # Fused fast path (power-of-two geometry): the lookup scan runs
+        # directly on the line-store columns — lazy processing gated on the
+        # bucket's epochs, comparator engagements counted inline exactly as
+        # CascadedComparator.compare would, LRU touched on the hit — and
+        # the dominant access shapes then complete with direct column
+        # reads/writes.  Complex shapes (upgrades, aborts, new versions)
+        # hand the found slot to _apply; misses take the fetch path below.
+        # Both continuations receive identical statistics to the generic
+        # lookup they replace.
+        l1 = self.l1s[core]
+        mask = l1._offset_mask
+        wshift = self._word_shift
+        if mask is not None and wshift is not None:
+            store = l1._store
+            state_col = store.state
+            mod_col = store.mod_vid
+            high_col = store.high_vid
+            epochs = store.epoch
+            lru_col = store.lru_tick
+            data_col = store.data
+            comparator = l1.comparator
+            l1stats = l1.stats
+            hit_latency = l1.hit_latency
+            name = l1.name
+            base = addr & ~mask
+            bucket = l1._by_base.get(base)
+            if bucket is not None:
+                epoch = l1._epoch
+                for s in bucket:
+                    if epochs[s] != epoch:
+                        bucket = l1._process_bucket(base)
+                        break
+            slot = -1
+            if bucket:
+                eff = l1.lc_vid if vid == 0 else vid
+                if len(bucket) == 1:
+                    s = bucket[0]
+                    code = state_col[s]
+                    if code < CODE_SM:
+                        if code != CODE_INVALID:
+                            slot = s
+                    else:
+                        mod = mod_col[s]
+                        high = high_col[s]
+                        shift = comparator.low_bits
+                        if (eff >> shift) == (mod >> shift):
+                            comparator.fast_comparisons += 1
+                        else:
+                            comparator.cascaded_comparisons += 1
+                        if (eff >> shift) == (high >> shift):
+                            comparator.fast_comparisons += 1
+                        else:
+                            comparator.cascaded_comparisons += 1
+                        if (eff >= mod if code <= CODE_SE
+                                else mod <= eff < high):
+                            slot = s
+                else:
+                    shift = comparator.low_bits
+                    fast = 0
+                    cascaded = 0
+                    for s in bucket:
+                        code = state_col[s]
+                        if code >= CODE_SM:
+                            mod = mod_col[s]
+                            high = high_col[s]
+                            if (eff >> shift) == (mod >> shift):
+                                fast += 1
+                            else:
+                                cascaded += 1
+                            if (eff >> shift) == (high >> shift):
+                                fast += 1
+                            else:
+                                cascaded += 1
+                            hits = (eff >= mod if code <= CODE_SE
+                                    else mod <= eff < high)
+                        else:
+                            hits = code != CODE_INVALID
+                        if hits:
+                            if slot >= 0:
+                                raise AssertionError(
+                                    f"{name}: two versions hit VID {eff} "
+                                    f"at 0x{base:x}: {l1._view(slot)!r} and "
+                                    f"{l1._view(s)!r}")
+                            slot = s
+                    comparator.fast_comparisons += fast
+                    comparator.cascaded_comparisons += cascaded
+            if slot >= 0:
+                l1._tick += 1
+                lru_col[slot] = l1._tick
+                code = state_col[slot]
+                if kind is AccessKind.WRITE and code == CODE_SS:
+                    # Silent shared speculative copies never serve writes;
+                    # the write must reach the version's owner on the bus.
+                    slot = -1
+            if slot >= 0:
+                l1stats.hits += 1
+                word = (addr & mask) >> wshift
+                if kind is AccessKind.READ:
+                    if vid == 0:
+                        return AccessResult(
+                            data_col[slot][word], hit_latency, True, name)
+                    if code >= CODE_SM:
+                        high = high_col[slot]
+                        sla = code <= CODE_SE and high < vid
+                        if sla:
+                            high_col[slot] = vid
+                        return AccessResult(
+                            data_col[slot][word], hit_latency, True, name,
+                            sla_required=sla)
+                    if code == CODE_MODIFIED or code == CODE_EXCLUSIVE:
+                        # First speculative read of an exclusive line:
+                        # enters S-M/S-E (Figure 4 entry arc) and requires
+                        # a retired-load SLA message.
+                        l1._retag_slot(
+                            slot,
+                            CODE_SM if code == CODE_MODIFIED else CODE_SE,
+                            0, vid)
+                        return AccessResult(
+                            data_col[slot][word], hit_latency, True, name,
+                            sla_required=True)
+                    # OWNED/SHARED need an upgrade: _apply handles it.
+                else:
+                    if vid == 0:
+                        if code == CODE_MODIFIED or code == CODE_EXCLUSIVE:
+                            if code == CODE_EXCLUSIVE:
+                                state_col[slot] = CODE_MODIFIED
+                            data_col[slot][word] = value
+                            return AccessResult(
+                                value, hit_latency, True, name)
+                    elif code == CODE_SM or code == CODE_SE:
+                        mod = mod_col[slot]
+                        high = high_col[slot]
+                        if vid == mod and vid >= high:
+                            # Same transaction re-writes its own latest
+                            # version in place.
+                            self._scrub_ss_copies(addr, mod)
+                            data_col[slot][word] = value
+                            if vid > high:
+                                high_col[slot] = vid
+                            return AccessResult(
+                                value, hit_latency, True, name)
+                    # Upgrades, conflicts, and copy-creating writes:
+                    # _apply decides on the found version.
+                return self._apply(core, l1._view(slot), addr, vid, kind,
+                                   value, hit_latency, True, name)
+            # Miss (or silent S-S copy on a write): fetch over the bus.
+            latency = hit_latency
+            l1stats.misses += 1
+            latency += self._bus_transaction(now + latency)
+            hit, transfer_latency, served_by = self._fetch(
+                core, addr, vid, kind, now=now + latency)
+            latency += transfer_latency
+            return self._apply(core, hit, addr, vid, kind, value, latency,
+                               False, served_by)
+        # Non-power-of-two geometry: generic lookup path.
         l1 = self.l1s[core]
         latency = l1.hit_latency
         hit = l1.lookup(addr, vid)
@@ -340,7 +546,7 @@ class MemoryHierarchy:
                            l1_hit, served_by)
 
     def _fetch(self, core: int, addr: int, vid: int,
-               kind: AccessKind, now: int = 0) -> Tuple[CacheLine, int, str]:
+               kind: AccessKind, now: int = 0) -> Tuple[LineView, int, str]:
         """Bring a copy that ``vid`` hits into ``core``'s L1.
 
         Implements the bus snoop: exactly one cache responds with the
@@ -390,12 +596,11 @@ class MemoryHierarchy:
             line = CacheLine(base, State.SO, data, 0, eff + 1)
         else:
             line = CacheLine(base, State.EXCLUSIVE, data)
-        self._install(l1, line)
-        return line, latency, "memory"
+        return self._install(l1, line), latency, "memory"
 
     def _receive_from_owner(self, core: int, owner_cache: VersionedCache,
-                            owner: CacheLine, vid: int,
-                            kind: AccessKind) -> CacheLine:
+                            owner: LineView, vid: int,
+                            kind: AccessKind) -> LineView:
         """Install a usable copy of ``owner``'s version in ``core``'s L1."""
         l1 = self.l1s[core]
         eff = l1.effective_vid(vid)
@@ -408,18 +613,14 @@ class MemoryHierarchy:
                 data = owner.copy_data()
                 self._invalidate_nonspec_everywhere(owner.addr)
                 state = State.MODIFIED if dirty else State.EXCLUSIVE
-                line = CacheLine(owner.addr, state, data)
-                self._install(l1, line)
-                return line
+                return self._install(l1, CacheLine(owner.addr, state, data))
             # Plain non-speculative read sharing: MOESI read hit.
             data = owner.copy_data()
             if owner.state is State.MODIFIED:
                 owner.set_state(State.OWNED)
             elif owner.state is State.EXCLUSIVE:
                 owner.set_state(State.SHARED)
-            line = CacheLine(owner.addr, State.SHARED, data)
-            self._install(l1, line)
-            return line
+            return self._install(l1, CacheLine(owner.addr, State.SHARED, data))
         if kind is AccessKind.READ:
             # Uncommitted value forwarding across caches: the requester gets
             # a shared speculative copy; the owner keeps tracking the global
@@ -437,8 +638,7 @@ class MemoryHierarchy:
                 copy_high = owner.high_vid
             line = CacheLine(owner.addr, State.SS, owner.copy_data(),
                              owner.mod_vid, copy_high)
-            self._install(l1, line)
-            return line
+            return self._install(l1, line)
         # A write served by a remote speculative version: decide abort /
         # in-place migration / new version here, where both copies are
         # visible.  Non-speculative writes that land on a live speculative
@@ -454,17 +654,15 @@ class MemoryHierarchy:
             line = CacheLine(owner.addr, owner.state, owner.copy_data(),
                              owner.mod_vid, max(owner.high_vid, eff))
             owner_cache.drop(owner)
-            self._install(l1, line)
-            return line
+            return self._install(l1, line)
         plan = plan_new_version(owner.state, owner.mod_vid, owner.high_vid, eff)
         data = owner.copy_data()
         owner.retag(plan.old_state, *plan.old_vids)
         line = CacheLine(owner.addr, State.SM, data, *plan.new_vids)
         l1.stats.version_copies += 1
-        self._install(l1, line)
-        return line
+        return self._install(l1, line)
 
-    def _apply(self, core: int, line: CacheLine, addr: int, vid: int,
+    def _apply(self, core: int, line: LineView, addr: int, vid: int,
                kind: AccessKind, value: Optional[int], latency: int,
                l1_hit: bool, served_by: str) -> AccessResult:
         """Apply the access to the L1-resident version ``line``."""
@@ -520,7 +718,7 @@ class MemoryHierarchy:
         return AccessResult(value, latency, l1_hit, served_by,
                             created_version=True)
 
-    def _upgrade(self, line: CacheLine) -> None:
+    def _upgrade(self, line: LineView) -> None:
         """Invalidate peer copies so ``line`` becomes writable (O/S -> M/E)."""
         self.stats.bus_snoops += 1
         self._invalidate_nonspec_everywhere(line.addr, keep=line)
@@ -528,7 +726,7 @@ class MemoryHierarchy:
                        else State.EXCLUSIVE)
 
     def _invalidate_nonspec_everywhere(self, addr: int,
-                                       keep: Optional[CacheLine] = None) -> None:
+                                       keep: Optional[LineView] = None) -> None:  # hot-path
         """Acquire exclusivity: drop every non-speculative copy.
 
         Silent shared speculative copies (``S-S``) are dropped as well —
@@ -539,39 +737,59 @@ class MemoryHierarchy:
         this path: a live latest version would have served the request
         itself instead of a non-speculative owner.
 
-        Only caches recorded in the presence map are visited; a cache with
-        no version of the line has nothing to invalidate or process.
+        Only caches recorded in the presence map are visited, and each
+        holder's version bucket is swept directly on the state column;
+        a cache with no version of the line has nothing to invalidate.
         """
-        holders = self._holders.get(self.l2.line_addr(addr))
+        base = self.l2.line_addr(addr)
+        holders = self._holders.get(base)
         if not holders:
             return
-        for cache in self._all_caches():
+        for cache in self._caches:
             if cache not in holders:
                 continue
-            for line in cache.versions(addr):
-                if line is keep:
+            bucket = cache._process_bucket(base)
+            if bucket is None:
+                continue
+            state_col = cache._store.state
+            keep_slot = (keep._slot if keep is not None and keep.cache is cache
+                         else -1)
+            for slot in list(bucket):  # lint-ok: RL006 (snapshot: bucket shrinks underneath)
+                if slot == keep_slot:
                     continue
-                if line.is_speculative() and line.state is not State.SS:
+                code = state_col[slot]
+                if code >= CODE_SM and code != CODE_SS:
                     continue
-                cache.drop(line)
+                cache._remove_slot(slot)
 
-    def _scrub_ss_copies(self, addr: int, mod_vid: int) -> None:
+    def _scrub_ss_copies(self, addr: int, mod_vid: int) -> None:  # hot-path
         """Invalidate all S-S copies of version ``(addr, mod_vid)``.
 
         The speculative analogue of a MOESI upgrade: a write to a version
         must invalidate its silent read-only copies, otherwise they would
         keep serving the version's *pre-write* data.
 
-        Filtered through the presence map like every other snoop.
+        Filtered through the presence map like every other snoop; each
+        holder's version bucket is swept directly on the state and modVID
+        columns.
         """
+        base = self.l2.line_addr(addr)
+        holders = self._holders.get(base)
+        if not holders:
+            return
         dropped = False
-        holders = self._holders.get(self.l2.line_addr(addr))
-        for cache in (self._all_caches() if holders else ()):
+        for cache in self._caches:
             if cache not in holders:
                 continue
-            for line in cache.versions(addr):
-                if line.state is State.SS and line.mod_vid == mod_vid:
-                    cache.drop(line)
+            bucket = cache._process_bucket(base)
+            if bucket is None:
+                continue
+            store = cache._store
+            state_col = store.state
+            mod_col = store.mod_vid
+            for slot in list(bucket):  # lint-ok: RL006 (snapshot: bucket shrinks underneath)
+                if state_col[slot] == CODE_SS and mod_col[slot] == mod_vid:
+                    cache._remove_slot(slot)
                     dropped = True
         if dropped:
             self.stats.ss_invalidations += 1
@@ -587,9 +805,17 @@ class MemoryHierarchy:
     # Eviction handling
     # ------------------------------------------------------------------
 
-    def _install(self, cache: VersionedCache, line: CacheLine) -> None:
-        for victim in cache.install(line):
+    def _install(self, cache: VersionedCache, line: CacheLine) -> LineView:
+        """Install ``line`` and handle its victims; returns the resident view.
+
+        ``line`` is an in-flight record — once installed, the version lives
+        in the cache's slot arena, so callers that keep mutating the line
+        (retags, data writes) must do it through the returned view.
+        """
+        slot, evicted = cache.install_slot(line)
+        for victim in evicted:
             self._handle_victim(cache, victim)
+        return cache._view(slot)
 
     def _handle_victim(self, cache: VersionedCache, victim: CacheLine) -> None:
         if victim.state is State.INVALID:

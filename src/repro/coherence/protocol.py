@@ -36,7 +36,17 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from .states import (
+    CODE_EXCLUSIVE,
+    CODE_INVALID,
+    CODE_MODIFIED,
+    CODE_OWNED,
+    CODE_SE,
+    CODE_SHARED,
+    CODE_SM,
+    CODE_SO,
+    CODE_SS,
     LATEST_SPEC_STATES,
+    STATE_FROM_CODE,
     SUPERSEDED_SPEC_STATES,
     State,
     is_speculative,
@@ -158,6 +168,69 @@ def plan_new_version(state: State, mod_vid: int, high_vid: int,
     )
 
 
+# ----------------------------------------------------------------------
+# Integer-code primitives (struct-of-arrays hot path, DESIGN.md section 13)
+# ----------------------------------------------------------------------
+#
+# The line store keeps states as one byte per line, so the lazy-processing
+# sweeps run on ``(code, modVID, highVID)`` integer triples.  These are the
+# *primary* implementations; the enum-typed functions below delegate to
+# them, which keeps the two representations equivalent by construction
+# (and the equivalence is additionally pinned by an exhaustive
+# differential test).
+
+#: Figure 7's surviving-state map on codes: S-M -> O, S-E -> S,
+#: S-O -> O, S-S -> S (see :func:`abort_transition` for the rationale).
+_ABORT_SURVIVOR_CODE = {
+    CODE_SM: CODE_OWNED,
+    CODE_SE: CODE_SHARED,
+    CODE_SO: CODE_OWNED,
+    CODE_SS: CODE_SHARED,
+}
+
+
+def version_hits_code(code: int, mod_vid: int, high_vid: int,
+                      req_vid: int) -> bool:
+    """:func:`version_hits` on an integer state code."""
+    if code >= CODE_SM:
+        if code <= CODE_SE:
+            return req_vid >= mod_vid
+        return mod_vid <= req_vid < high_vid
+    return code != CODE_INVALID
+
+
+def commit_transition_code(code: int, mod_vid: int, high_vid: int,
+                           commit_vid: int) -> Tuple[int, int, int]:
+    """:func:`commit_transition` on an integer state code."""
+    if code < CODE_SM:
+        return code, mod_vid, high_vid
+    if commit_vid >= high_vid:
+        if code == CODE_SM:
+            return CODE_MODIFIED, 0, 0
+        if code == CODE_SE:
+            return CODE_EXCLUSIVE, 0, 0
+        return CODE_INVALID, 0, 0
+    if 0 < mod_vid <= commit_vid:
+        return code, 0, high_vid
+    return code, mod_vid, high_vid
+
+
+def abort_transition_code(code: int, mod_vid: int,
+                          high_vid: int) -> Tuple[int, int, int]:
+    """:func:`abort_transition` on an integer state code."""
+    if code < CODE_SM:
+        return code, mod_vid, high_vid
+    if mod_vid > 0:
+        return CODE_INVALID, 0, 0
+    return _ABORT_SURVIVOR_CODE[code], 0, 0
+
+
+def reset_transition_code(code: int, mod_vid: int,
+                          high_vid: int) -> Tuple[int, int, int]:
+    """:func:`reset_transition` on an integer state code."""
+    return commit_transition_code(code, mod_vid, high_vid, high_vid)
+
+
 def commit_transition(state: State, mod_vid: int, high_vid: int,
                       commit_vid: int) -> Tuple[State, Vids]:
     """Apply Figure 6's commit state machine to one version.
@@ -175,17 +248,9 @@ def commit_transition(state: State, mod_vid: int, high_vid: int,
     ``modVID == commit_vid`` condition is what lets several consecutive
     commits be folded into a single lazy processing step (section 5.3).
     """
-    if not state.speculative:
-        return state, (mod_vid, high_vid)
-    if commit_vid >= high_vid:
-        if state is State.SM:
-            return State.MODIFIED, (0, 0)
-        if state is State.SE:
-            return State.EXCLUSIVE, (0, 0)
-        return State.INVALID, (0, 0)
-    if 0 < mod_vid <= commit_vid:
-        return state, (0, high_vid)
-    return state, (mod_vid, high_vid)
+    code, mod, high = commit_transition_code(
+        state.code, mod_vid, high_vid, commit_vid)
+    return STATE_FROM_CODE[code], (mod, high)
 
 
 def abort_transition(state: State, mod_vid: int, high_vid: int) -> Tuple[State, Vids]:
@@ -208,17 +273,8 @@ def abort_transition(state: State, mod_vid: int, high_vid: int) -> Tuple[State, 
     write.  Aborts are rare, so this is squarely within the paper's
     "push slowdowns to the rare abort case" philosophy.
     """
-    if not state.speculative:
-        return state, (mod_vid, high_vid)
-    if mod_vid > 0:
-        return State.INVALID, (0, 0)
-    mapping = {
-        State.SM: State.OWNED,
-        State.SE: State.SHARED,
-        State.SO: State.OWNED,
-        State.SS: State.SHARED,
-    }
-    return mapping[state], (0, 0)
+    code, mod, high = abort_transition_code(state.code, mod_vid, high_vid)
+    return STATE_FROM_CODE[code], (mod, high)
 
 
 def reset_transition(state: State, mod_vid: int, high_vid: int) -> Tuple[State, Vids]:

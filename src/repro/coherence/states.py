@@ -76,6 +76,46 @@ for _state in State:
 del _state
 
 
+# ----------------------------------------------------------------------
+# Integer state codes (struct-of-arrays line store, DESIGN.md section 13)
+# ----------------------------------------------------------------------
+#
+# The line store keeps coherence states as one byte per line in a
+# ``bytearray`` column.  The numbering is chosen so the protocol's state
+# *classes* become range checks instead of set membership:
+#
+#   non-speculative valid : 1 <= code <= 4
+#   speculative           : code >= CODE_SM  (5)
+#   latest  (S-M / S-E)   : CODE_SM <= code <= CODE_SE  (5..6)
+#   superseded (S-O / S-S): code >= CODE_SO  (7..8)
+
+CODE_INVALID = 0
+CODE_SHARED = 1
+CODE_EXCLUSIVE = 2
+CODE_OWNED = 3
+CODE_MODIFIED = 4
+CODE_SM = 5
+CODE_SE = 6
+CODE_SO = 7
+CODE_SS = 8
+
+#: code -> State member (index with a state code).
+STATE_FROM_CODE = (
+    State.INVALID, State.SHARED, State.EXCLUSIVE, State.OWNED,
+    State.MODIFIED, State.SM, State.SE, State.SO, State.SS,
+)
+
+#: per-code dirty flag as an indexable byte table (M, O, S-M, S-O).
+DIRTY_BY_CODE = bytes(
+    1 if STATE_FROM_CODE[c] in DIRTY_STATES else 0
+    for c in range(len(STATE_FROM_CODE))
+)
+
+for _code, _state in enumerate(STATE_FROM_CODE):
+    _state.code = _code
+del _code, _state
+
+
 def is_speculative(state: State) -> bool:
     """True for the four HMTX speculative states."""
     return state.speculative

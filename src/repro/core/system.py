@@ -20,13 +20,14 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from ..coherence.hierarchy import AccessResult, MemoryHierarchy
+from ..coherence.protocol import AccessKind
 from ..coherence.vid import VidSpace
 from ..errors import MisspeculationError, TransactionUsageError
 from ..txctl.causes import AbortCause, classify
 from .config import MachineConfig
 from .context import ThreadContext
 from .sla import SlaTracker
-from .stats import SystemStats
+from .stats import OpenTransaction, SystemStats
 
 
 class HMTXSystem:
@@ -182,30 +183,61 @@ class HMTXSystem:
     # Memory operations
     # ------------------------------------------------------------------
 
-    def load(self, tid: int, addr: int, now: int = 0) -> AccessResult:
+    def load(self, tid: int, addr: int, now: int = 0) -> AccessResult:  # hot-path
         """Load with the thread's current VID attached."""
         ctx = self.contexts[tid]
+        vid = ctx.vid
+        hierarchy = self.hierarchy
         try:
-            result = self.hierarchy.load(ctx.core, addr, ctx.vid, now=now)
+            if "load" in hierarchy.__dict__:
+                # Instrumented (e.g. a protocol tracer wraps the bound
+                # method as an instance attribute): go through the wrapper.
+                result = hierarchy.load(ctx.core, addr, vid, now=now)
+            else:
+                hstats = hierarchy.stats
+                hstats.loads += 1
+                if vid > 0:
+                    hstats.spec_loads += 1
+                result = hierarchy._access(ctx.core, addr, vid,
+                                           AccessKind.READ, None, now)
         except MisspeculationError as exc:
             # A load can misspeculate too: installing the fetched line may
             # evict a speculative version past the LLC (section 5.4).  The
             # abort must flush state here just like the store path.
             self._abort(explicit=False, cause=classify(exc), vid=exc.vid)
             raise
-        if ctx.vid > 0:
+        if vid > 0:
             # The SLA (if one is needed) is sent when the load retires; it
             # is buffered store-queue style, so it adds traffic but no
-            # program-order latency (section 5.1).
-            self.stats.record_load(ctx.vid, addr, sla_sent=result.sla_required)
+            # program-order latency (section 5.1).  Inline record_load.
+            stats = self.stats
+            tx = stats._open.get(vid)
+            if tx is None:
+                tx = stats._open[vid] = OpenTransaction(vid)  # lint-ok: RL006 (once per transaction open)
+            tx.read_lines.add(addr - (addr % stats.line_size))
+            tx.spec_loads += 1
+            stats.spec_loads += 1
+            if result.sla_required:
+                tx.slas_sent += 1
+                stats.slas_sent += 1
         return result
 
     def store(self, tid: int, addr: int, value: int,
-              now: int = 0) -> AccessResult:
+              now: int = 0) -> AccessResult:  # hot-path
         """Store with the thread's current VID attached."""
         ctx = self.contexts[tid]
+        vid = ctx.vid
+        hierarchy = self.hierarchy
         try:
-            result = self.hierarchy.store(ctx.core, addr, ctx.vid, value, now=now)
+            if "store" in hierarchy.__dict__:
+                result = hierarchy.store(ctx.core, addr, vid, value, now=now)
+            else:
+                hstats = hierarchy.stats
+                hstats.stores += 1
+                if vid > 0:
+                    hstats.spec_stores += 1
+                result = hierarchy._access(ctx.core, addr, vid,
+                                           AccessKind.WRITE, value, now)
         except MisspeculationError as exc:
             line = addr - (addr % self.config.line_size)
             if not self.sla.enabled and line in self._wrong_path_marks:
@@ -215,9 +247,15 @@ class HMTXSystem:
                 exc.cause = AbortCause.WRONG_PATH
             self._abort(explicit=False, cause=classify(exc), vid=exc.vid)
             raise
-        if ctx.vid > 0:
-            self.stats.record_store(ctx.vid, addr)
-            if self.sla.enabled and self.sla.check_store(addr, ctx.vid):
+        if vid > 0:
+            stats = self.stats
+            tx = stats._open.get(vid)
+            if tx is None:
+                tx = stats._open[vid] = OpenTransaction(vid)  # lint-ok: RL006 (once per transaction open)
+            tx.write_lines.add(addr - (addr % stats.line_size))
+            tx.spec_stores += 1
+            stats.spec_stores += 1
+            if self.sla.enabled and self.sla.check_store(addr, vid):
                 self.stats.false_aborts_avoided += 1
         return result
 

@@ -15,10 +15,11 @@ out-of-order core.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from .branch import BranchPredictor, GsharePredictor
+from .branch import BranchPredictor, CalibratedPredictor, GsharePredictor
 from .isa import (
     AbortMTX,
     Arrive,
@@ -68,7 +69,7 @@ class CoreExecutor:
         self.costs = costs or system.config.op_costs
         self._predictor_factory = predictor_factory or GsharePredictor
         self._predictors: Dict[int, BranchPredictor] = {}
-        self._pc: Dict[int, int] = {}
+        self._pc: Dict[int, int] = defaultdict(int)
         self.stats = ExecStats()
 
     def predictor(self, tid: int) -> BranchPredictor:
@@ -85,7 +86,7 @@ class CoreExecutor:
         """
         stats = self.stats
         stats.instructions += 1
-        self._pc[tid] = self._pc.get(tid, 0) + 4
+        self._pc[tid] += 4
         # Identity dispatch on the concrete op class (the ISA is a closed
         # set of final dataclasses), ordered by dynamic frequency.
         cls = op.__class__
@@ -124,17 +125,73 @@ class CoreExecutor:
             return None, 1
         raise TypeError(f"CoreExecutor cannot execute {op!r}")
 
-    def _execute_branch(self, tid: int, op: Branch) -> int:
+    def _execute_branch(self, tid: int, op: Branch) -> int:  # hot-path
         predictor = self.predictor(tid)
-        self.stats.branches += op.count
-        self.stats.instructions += (op.count - 1) + op.work_cycles
-        latency = op.work_cycles + op.count * self.costs.branch
-        for n in range(op.count):
+        count = op.count
+        stats = self.stats
+        stats.branches += count
+        stats.instructions += (count - 1) + op.work_cycles
+        costs = self.costs
+        latency = op.work_cycles + count * costs.branch
+        # Fused predictor loops: when the op carries no wrong-path loads a
+        # mispredict has no side effects, so predict() can be unrolled
+        # inline with the table/history/stat updates batched.  The
+        # per-branch state evolution (and therefore the mispredict stream)
+        # is bit-identical to calling predict() per branch; ops *with*
+        # wrong-path loads keep the exact original call sequence.
+        if not op.wrong_path_loads:
+            pcls = predictor.__class__
+            if pcls is GsharePredictor:
+                table = predictor._table
+                history = predictor._history
+                hmask = predictor._history_mask
+                tmask = (1 << predictor.table_bits) - 1
+                taken = op.taken
+                tbit = 1 if taken else 0
+                base_pc = self._pc[tid]
+                mispredicts = 0
+                penalty = costs.branch_mispredict_penalty
+                for n in range(count):
+                    index = (((base_pc + 4 * n) >> 2) ^ history) & tmask
+                    counter = table[index]
+                    if (counter >= 2) != taken:
+                        mispredicts += 1
+                        latency += penalty
+                    if taken:
+                        if counter < 3:
+                            table[index] = counter + 1
+                    elif counter > 0:
+                        table[index] = counter - 1
+                    history = ((history << 1) | tbit) & hmask
+                predictor._history = history
+                pstats = predictor.stats
+                pstats.predictions += count
+                pstats.mispredictions += mispredicts
+                stats.mispredicts += mispredicts
+                return latency
+            if pcls is CalibratedPredictor:
+                state = predictor._state
+                rate = predictor.rate
+                mispredicts = 0
+                penalty = costs.branch_mispredict_penalty
+                for _ in range(count):
+                    state = (state * 6364136223846793005
+                             + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+                    if (state >> 11) / 9007199254740992.0 < rate:
+                        mispredicts += 1
+                        latency += penalty
+                predictor._state = state
+                pstats = predictor.stats
+                pstats.predictions += count
+                pstats.mispredictions += mispredicts
+                stats.mispredicts += mispredicts
+                return latency
+        for n in range(count):
             pc = self._pc[tid] + 4 * n
             if not predictor.predict(pc, op.taken):
                 continue
-            self.stats.mispredicts += 1
-            latency += self.costs.branch_mispredict_penalty
+            stats.mispredicts += 1
+            latency += costs.branch_mispredict_penalty
             # Wrong-path loads execute before the squash; their cache
             # effects are real but their latency hides under the redirect
             # penalty.

@@ -17,38 +17,67 @@ The MTX instructions mirror section 3.1 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
 class Op:
-    """Base class for all simulated operations."""
+    """Base class for all simulated operations.
+
+    Ops are immutable-by-convention value objects.  They were frozen
+    dataclasses originally, but a workload generator yields one object
+    per simulated op, so construction cost is on the simulator's
+    critical path — hand-written ``__slots__`` classes construct ~2-3x
+    faster than ``@dataclass(frozen=True)`` (whose ``__init__`` routes
+    every field write through ``object.__setattr__``).  Equality, hashing
+    and ``repr`` keep the dataclass conventions.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{name}={getattr(self, name)!r}"
+                           for name in self.__slots__)
+        return f"{self.__class__.__name__}({fields})"
+
+    def __eq__(self, other: Any) -> Any:
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in self.__slots__)
+
+    def __hash__(self) -> int:
+        return hash(tuple(getattr(self, name) for name in self.__slots__))
 
 
-@dataclass(frozen=True)
 class Load(Op):
     """Load the word at ``addr``; the generator receives the value."""
 
-    addr: int
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
 
 
-@dataclass(frozen=True)
 class Store(Op):
     """Store ``value`` to the word at ``addr``."""
 
-    addr: int
-    value: int
+    __slots__ = ("addr", "value")
+
+    def __init__(self, addr: int, value: int) -> None:
+        self.addr = addr
+        self.value = value
 
 
-@dataclass(frozen=True)
 class Work(Op):
     """``cycles`` of pure computation (no memory traffic)."""
 
-    cycles: int
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int) -> None:
+        self.cycles = cycles
 
 
-@dataclass(frozen=True)
 class Branch(Op):
     """A conditional branch (or a burst of them).
 
@@ -64,13 +93,17 @@ class Branch(Op):
     while the predictor still sees every branch.
     """
 
-    taken: bool
-    wrong_path_loads: Tuple[int, ...] = field(default_factory=tuple)
-    count: int = 1
-    work_cycles: int = 0
+    __slots__ = ("taken", "wrong_path_loads", "count", "work_cycles")
+
+    def __init__(self, taken: bool,
+                 wrong_path_loads: Tuple[int, ...] = (),
+                 count: int = 1, work_cycles: int = 0) -> None:
+        self.taken = taken
+        self.wrong_path_loads = wrong_path_loads
+        self.count = count
+        self.work_cycles = work_cycles
 
 
-@dataclass(frozen=True)
 class Arrive(Op):
     """Open-loop request arrival: wait until simulated time ``ts``.
 
@@ -84,57 +117,74 @@ class Arrive(Op):
     abort just re-reads the (now past) arrival time.
     """
 
-    ts: int
+    __slots__ = ("ts",)
+
+    def __init__(self, ts: int) -> None:
+        self.ts = ts
 
 
-@dataclass(frozen=True)
 class BeginMTX(Op):
     """``beginMTX(VID)``; VID 0 resumes non-speculative execution."""
 
-    vid: int
+    __slots__ = ("vid",)
+
+    def __init__(self, vid: int) -> None:
+        self.vid = vid
 
 
-@dataclass(frozen=True)
 class CommitMTX(Op):
     """``commitMTX(VID)``: atomic group commit of the whole MTX."""
 
-    vid: int
+    __slots__ = ("vid",)
+
+    def __init__(self, vid: int) -> None:
+        self.vid = vid
 
 
-@dataclass(frozen=True)
 class AbortMTX(Op):
     """``abortMTX(VID)``: software-detected misspeculation."""
 
-    vid: int
+    __slots__ = ("vid",)
+
+    def __init__(self, vid: int) -> None:
+        self.vid = vid
 
 
-@dataclass(frozen=True)
 class InitMTX(Op):
     """``initMTX(pc)``: register recovery code for this thread."""
 
-    handler: Any
+    __slots__ = ("handler",)
+
+    def __init__(self, handler: Any) -> None:
+        self.handler = handler
 
 
-@dataclass(frozen=True)
 class Produce(Op):
     """Enqueue ``value`` on inter-thread queue ``queue`` (DSWP plumbing)."""
 
-    queue: str
-    value: Any
+    __slots__ = ("queue", "value")
+
+    def __init__(self, queue: str, value: Any) -> None:
+        self.queue = queue
+        self.value = value
 
 
-@dataclass(frozen=True)
 class Consume(Op):
     """Dequeue from ``queue``; blocks until a value is available."""
 
-    queue: str
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: str) -> None:
+        self.queue = queue
 
 
-@dataclass(frozen=True)
 class Output(Op):
     """Program output, buffered until commit (section 4.7)."""
 
-    value: Any
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
 
 
 @dataclass

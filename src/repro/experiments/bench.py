@@ -234,7 +234,28 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed fractional ops/sec regression "
                              f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a snoop/scrub/lazy-fold/scheduler phase "
+                             "breakdown of wall time; the (wrapper-inflated) "
+                             "measurements are NOT written to the report")
     args = parser.parse_args(argv)
+
+    if args.profile:
+        from .phase_profile import PhaseProfiler, format_profile  # lint-ok: RL005 (profiling-only stack, loaded on --profile alone)
+        # Wrappers live in this process only, so the run must be serial;
+        # a single pass keeps the phase totals and the wall denominator
+        # describing the same runs (best-of-N would not).
+        profiler = PhaseProfiler().install()
+        try:
+            section = run_bench(quick=args.quick, repeat=1, jobs=1)
+        finally:
+            profiler.uninstall()
+        print(format_bench(section))
+        print()
+        print(format_profile(
+            profiler.report(section["totals"]["wall_seconds"])))
+        print("(profiled walls are wrapper-inflated; report not written)")
+        return 0
 
     section = run_bench(quick=args.quick, repeat=args.repeat,
                         jobs=args.jobs)

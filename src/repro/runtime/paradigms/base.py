@@ -38,6 +38,10 @@ Program = Generator[Op, Any, None]
 
 #: Cycles burnt per poll while stalled (VID exhaustion, commit ordering).
 _SPIN_COST = 4
+#: Shared spin-op singleton: spin loops yield this op thousands of
+#: times while waiting, so per-yield construction is pure overhead
+#: (ops are immutable value objects).
+_SPIN_OP = Work(_SPIN_COST)
 #: How many uncommitted transactions one worker keeps open at once (the
 #: paper allows many per core; bounding it caps VID-window and cache-set
 #: version pressure, like the bounded DSWP queues).
@@ -132,7 +136,7 @@ def allocate_vid_with_stall(system: TMBackend) -> Program:
                 if system.ready_for_vid_reset():
                     yield Work(system.vid_reset())
                 else:
-                    yield Work(_SPIN_COST)
+                    yield _SPIN_OP
     spins = 0
     while True:
         try:
@@ -145,7 +149,7 @@ def allocate_vid_with_stall(system: TMBackend) -> Program:
             if system.ready_for_vid_reset():
                 yield Work(system.vid_reset())
             else:
-                yield Work(_SPIN_COST)
+                yield _SPIN_OP
 
 
 def wait_for_epoch(system: TMBackend, epoch: int) -> Program:
@@ -164,7 +168,7 @@ def wait_for_epoch(system: TMBackend, epoch: int) -> Program:
                     and not system.active_vids:
                 yield Work(system.vid_reset())
             else:
-                yield Work(_SPIN_COST)
+                yield _SPIN_OP
         return
     spins = 0
     while system.vid_space.resets < epoch:
@@ -174,7 +178,7 @@ def wait_for_epoch(system: TMBackend, epoch: int) -> Program:
                 and not system.active_vids:
             yield Work(system.vid_reset())
         else:
-            yield Work(_SPIN_COST)
+            yield _SPIN_OP
     if spins:
         obs.record_spin("vid_reset", 0, spins)
 
@@ -184,12 +188,12 @@ def wait_commit_turn(system: TMBackend, vid: int) -> Program:
     obs = _obs.active
     if obs is None:
         while system.last_committed != vid - 1:
-            yield Work(_SPIN_COST)
+            yield _SPIN_OP
         return
     spins = 0
     while system.last_committed != vid - 1:
         spins += 1
-        yield Work(_SPIN_COST)
+        yield _SPIN_OP
     if spins:
         obs.record_spin("commit_stall", vid, spins)
 

@@ -15,6 +15,7 @@ from ...workloads.base import Workload
 from . import base
 from .base import (
     _SPIN_COST,
+    _SPIN_OP,
     ParadigmResult,
     Program,
     build_result,
@@ -71,7 +72,7 @@ def run_doall(workload: Workload, config: Optional[MachineConfig] = None,
                 vid = vid0 + 1
                 if system.vid_space.resets < epoch and pending:
                     # Cannot cross an epoch boundary with open transactions.
-                    yield Work(_SPIN_COST)
+                    yield _SPIN_OP
                     continue
                 yield from wait_for_epoch(system, epoch)
                 if serial:
@@ -82,7 +83,7 @@ def run_doall(workload: Workload, config: Optional[MachineConfig] = None,
                 pending.append((i, vid))
                 cursor += 1
                 continue
-            yield Work(_SPIN_COST)
+            yield _SPIN_OP
 
     def build(start: int = 0, serial: bool = False) -> Dict[int, Program]:
         return {w: worker(w, start, serial) for w in range(workers)}

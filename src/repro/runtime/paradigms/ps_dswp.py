@@ -14,6 +14,7 @@ from ...workloads.base import Workload
 from . import base
 from .base import (
     _SPIN_COST,
+    _SPIN_OP,
     ParadigmResult,
     Program,
     allocate_vid_with_stall,
@@ -76,7 +77,7 @@ def run_ps_dswp(workload: Workload, config: Optional[MachineConfig] = None,
         window = 1 if serial else base._MAX_LIVE_TRANSACTIONS
         for i in range(start_iter, workload.iterations):
             while len(system.active_vids) >= window:
-                yield Work(_SPIN_COST)
+                yield _SPIN_OP
             vid = yield from allocate_vid_with_stall(system)
             yield BeginMTX(vid)
             carry = yield from workload.stage1_iteration(i, carry)

@@ -23,7 +23,7 @@ from typing import Any, Dict, Generator, List, Optional
 
 from ..cpu.core_model import CoreExecutor
 from ..cpu.interrupts import InterruptInjector
-from ..cpu.isa import Consume, Op, Produce
+from ..cpu.isa import Branch, Consume, Load, Op, Produce, Store, Work
 from ..errors import ReproError
 from .queues import QueueSet
 
@@ -34,20 +34,40 @@ class DeadlockError(ReproError):
     """Every live thread is blocked on an empty queue."""
 
 
-@dataclass
 class ThreadHandle:
-    tid: int
-    core: int
-    program: Program
-    clock: int = 0
-    done: bool = False
-    #: Queue this thread is blocked consuming from (empty queue).
-    blocked_on: Optional[str] = None
-    #: (queue, value) this thread is blocked producing into (full queue).
-    blocked_produce: Optional[tuple] = None
-    #: Value to send into the generator at the next step.
-    pending_value: Any = None
-    ops_executed: int = 0
+    """One schedulable thread.
+
+    A ``__slots__`` class (not a dataclass): the scheduler's selection
+    sweep reads several attributes of every live thread per step, so
+    attribute access cost is on the simulator's critical path.
+    """
+
+    __slots__ = ("tid", "core", "program", "clock", "done", "blocked_on",
+                 "blocked_produce", "pending_value", "ops_executed")
+
+    def __init__(self, tid: int, core: int, program: Program,
+                 clock: int = 0, done: bool = False,
+                 blocked_on: Optional[str] = None,
+                 blocked_produce: Optional[tuple] = None,
+                 pending_value: Any = None, ops_executed: int = 0) -> None:
+        self.tid = tid
+        self.core = core
+        self.program = program
+        self.clock = clock
+        self.done = done
+        #: Queue this thread is blocked consuming from (empty queue).
+        self.blocked_on = blocked_on
+        #: (queue, value) this thread is blocked producing into (full queue).
+        self.blocked_produce = blocked_produce
+        #: Value to send into the generator at the next step.
+        self.pending_value = pending_value
+        self.ops_executed = ops_executed
+
+    def __repr__(self) -> str:
+        return (f"ThreadHandle(tid={self.tid}, core={self.core}, "
+                f"clock={self.clock}, done={self.done}, "
+                f"blocked_on={self.blocked_on!r}, "
+                f"blocked_produce={self.blocked_produce!r})")
 
 
 @dataclass
@@ -129,9 +149,35 @@ class Scheduler:
         """
         steps = 0
         max_steps = self.max_steps
-        threads = self.threads
         queues = self.queues
         queue_op = self.system.config.op_costs.queue_op
+        core_clock = self._core_clock
+        executor = self.executor
+        execute = executor.execute
+        interrupts = self.interrupts
+        system = self.system
+        # Observability (repro.obs) instruments runs by replacing _step /
+        # executor.execute with instance-level wrappers; the fused step
+        # below would bypass them, so instrumented runs keep the exact
+        # per-step call sequence.
+        instrumented = ("_step" in self.__dict__
+                        or "execute" in executor.__dict__)
+        # Work/Load/Store/Branch cover almost every op a workload yields;
+        # they are fused below (exactly what CoreExecutor.execute does for
+        # each class, without the dispatch) when the executor is a plain
+        # CoreExecutor.  system.load/store are hoisted through the
+        # instance, so an observability wrapper installed before the run
+        # is still honoured.
+        fuse_work = not instrumented and executor.__class__ is CoreExecutor
+        estats = executor.stats
+        epc = executor._pc
+        work_unit = executor.costs.work_unit
+        system_load = system.load
+        system_store = system.store
+        execute_branch = executor._execute_branch
+        #: Threads not yet done — rebuilt when one finishes, so the sweep
+        #: never rescans completed threads.
+        live_threads = [t for t in self.threads if not t.done]
         while True:
             # Fused sweep: unblock every thread whose queue became ready
             # (exactly what _collect_runnable does), while tracking the
@@ -139,13 +185,11 @@ class Scheduler:
             # no intermediate lists.  This loop dominates simulator wall
             # time, hence the hand-tuning.
             best = None
-            best_clock = 0
+            # Sentinel larger than any reachable clock, so the selection
+            # compare needs no ``best is None`` test per thread.
+            best_clock = 0x7FFFFFFFFFFFFFFF
             best_tid = 0
-            any_live = False
-            for thread in threads:
-                if thread.done:
-                    continue
-                any_live = True
+            for thread in live_threads:
                 if thread.blocked_on is not None:
                     entry = queues.get(thread.blocked_on).try_consume(
                         thread.clock)
@@ -170,17 +214,115 @@ class Scheduler:
                     queue.produce(value, thread.clock)
                     thread.blocked_produce = None
                 clock = thread.clock
-                if best is None or clock < best_clock or (
+                if clock < best_clock or (
                         clock == best_clock and thread.tid < best_tid):
                     best = thread
                     best_clock = clock
                     best_tid = thread.tid
-            if not any_live:
+            if not live_threads:
                 break
             if best is None:
                 live = [t.tid for t in self.threads if not t.done]
                 raise DeadlockError(f"threads {live} all blocked on queues")
-            self._step(best)
+            # Inlined _step for the dominant plain-op case (same logic,
+            # minus one call frame and the attribute reloads per step);
+            # queue ops fall back to the shared helper.
+            thread = best
+            if instrumented:
+                self._step(thread)
+                if thread.done:
+                    live_threads = [t for t in self.threads if not t.done]
+                steps += 1
+                if steps > max_steps:
+                    raise ReproError(f"exceeded {max_steps} scheduler steps")
+                continue
+            try:
+                op = thread.program.send(thread.pending_value)
+            except StopIteration:
+                thread.done = True
+                live_threads = [t for t in self.threads if not t.done]
+                op = None
+            if op is not None:
+                thread.pending_value = None
+                thread.ops_executed += 1
+                cls = op.__class__
+                if fuse_work and cls is Work:
+                    core = thread.core
+                    start = core_clock[core]
+                    if best_clock > start:
+                        start = best_clock
+                    cycles = op.cycles
+                    estats.instructions += cycles if cycles > 1 else 1
+                    epc[thread.tid] += 4
+                    clock = start + cycles * work_unit
+                    if interrupts is not None:
+                        clock += interrupts.maybe_interrupt(
+                            system, thread.tid, core, clock)
+                    thread.clock = clock
+                    core_clock[core] = clock
+                    thread.pending_value = None
+                elif fuse_work and cls is Load:
+                    core = thread.core
+                    start = core_clock[core]
+                    if best_clock > start:
+                        start = best_clock
+                    estats.instructions += 1
+                    estats.loads += 1
+                    epc[thread.tid] += 4
+                    result = system_load(thread.tid, op.addr, start)
+                    clock = start + result.latency
+                    if interrupts is not None:
+                        clock += interrupts.maybe_interrupt(
+                            system, thread.tid, core, clock)
+                    thread.clock = clock
+                    core_clock[core] = clock
+                    thread.pending_value = result.value
+                elif fuse_work and cls is Store:
+                    core = thread.core
+                    start = core_clock[core]
+                    if best_clock > start:
+                        start = best_clock
+                    estats.instructions += 1
+                    estats.stores += 1
+                    epc[thread.tid] += 4
+                    result = system_store(thread.tid, op.addr, op.value,
+                                          start)
+                    clock = start + result.latency
+                    if interrupts is not None:
+                        clock += interrupts.maybe_interrupt(
+                            system, thread.tid, core, clock)
+                    thread.clock = clock
+                    core_clock[core] = clock
+                    thread.pending_value = None
+                elif fuse_work and cls is Branch:
+                    core = thread.core
+                    start = core_clock[core]
+                    if best_clock > start:
+                        start = best_clock
+                    estats.instructions += 1
+                    epc[thread.tid] += 4
+                    clock = start + execute_branch(thread.tid, op)
+                    if interrupts is not None:
+                        clock += interrupts.maybe_interrupt(
+                            system, thread.tid, core, clock)
+                    thread.clock = clock
+                    core_clock[core] = clock
+                    thread.pending_value = None
+                elif cls is not Produce and cls is not Consume:
+                    core = thread.core
+                    start = core_clock[core]
+                    if best_clock > start:
+                        start = best_clock
+                    value, latency = execute(thread.tid, op, start)
+                    clock = start + latency
+                    if interrupts is not None:
+                        clock += interrupts.maybe_interrupt(
+                            system, thread.tid, core, clock)
+                    thread.clock = clock
+                    core_clock[core] = clock
+                    thread.pending_value = value
+                else:
+                    self._queue_step(thread, op, cls)
             steps += 1
             if steps > max_steps:
                 raise ReproError(f"exceeded {max_steps} scheduler steps")
@@ -254,7 +396,11 @@ class Scheduler:
             core_clock[core] = clock
             thread.pending_value = value
             return
-        if type(op) is Produce:
+        self._queue_step(thread, op, cls)
+
+    def _queue_step(self, thread: ThreadHandle, op: Op, cls: type) -> None:
+        """Produce/Consume handling shared by :meth:`run` and :meth:`_step`."""
+        if cls is Produce:
             queue = self.queues.get(op.queue)
             if queue.full():
                 thread.blocked_produce = (op.queue, op.value)

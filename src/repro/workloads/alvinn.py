@@ -17,7 +17,7 @@ from typing import Any
 
 from ..cpu.isa import Branch, Load, Store, Work
 from .base import Fragment, Workload
-from .common import LINE, Lcg, Region, branch_burst
+from .common import LINE, Lcg, Region, branch_op
 
 
 class AlvinnWorkload(Workload):
@@ -77,7 +77,7 @@ class AlvinnWorkload(Workload):
                 x = yield Load(pattern + 8 * w)
                 wt = yield Load(self.weights.base + 8 * ((h * 7 + w) % weight_words))
                 activation = (activation + x * wt) & 0xFFFFFFFF
-            yield from branch_burst(1, rng, ())
+            yield branch_op(rng)
             yield Work(4)
         # Backward pass: accumulate the private gradient slice.
         for h in range(self.hidden_units):

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from ..cpu.isa import Load, Store, Work
 from .base import Fragment
-from .common import LINE, Lcg, Region, branch_burst
+from .common import LINE, Lcg, Region, branch_op
 from .pipeline import PipelinedBenchmark
 
 
@@ -66,14 +66,14 @@ class Bzip2Workload(PipelinedBenchmark):
             yield Store(rank + 8 * (bucket % (words // 8)), count + 1)
             checksum = (checksum + byte) & 0xFFFFFFFF
             if w % 16 == 0:
-                yield from branch_burst(1, rng, wrong)
+                yield branch_op(rng, wrong)
                 yield Work(2)
         # Pass 2: write the "rotated" block (big sequential write set).
         for w in range(words):
             byte = yield Load(src + 8 * ((w * 7 + element) % words))
             yield Store(dst + 8 * w, byte)
             if w % 32 == 0:
-                yield from branch_burst(1, rng, ())
+                yield branch_op(rng)
         yield Work(40)
         return checksum
 

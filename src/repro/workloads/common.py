@@ -65,6 +65,25 @@ class Region:
         return (self.base, self.end)
 
 
+#: Branch ops are immutable value objects, so the two wrong-path-free
+#: outcomes are shared singletons — workload loops yield them thousands of
+#: times and the construction cost is pure overhead.
+_BRANCH_TAKEN = Branch(taken=True)
+_BRANCH_NOT_TAKEN = Branch(taken=False)
+
+
+def branch_op(rng: Lcg, wrong_path: Tuple[int, ...] = ()) -> Branch:
+    """One data-dependent branch op (the single-branch ``branch_burst``).
+
+    Returning the op instead of yielding it lets hot workload bodies do
+    ``yield branch_op(rng)`` without spinning up a subgenerator per burst.
+    """
+    taken = rng.next(4) != 0
+    if wrong_path:
+        return Branch(taken=taken, wrong_path_loads=wrong_path)
+    return _BRANCH_TAKEN if taken else _BRANCH_NOT_TAKEN
+
+
 def branch_burst(count: int, rng: Lcg,
                  wrong_path: Tuple[int, ...] = ()) -> Fragment:
     """Emit ``count`` data-dependent branches.
@@ -75,7 +94,7 @@ def branch_burst(count: int, rng: Lcg,
     still has to write — the section 5.1 hazard).
     """
     for _ in range(count):
-        yield Branch(taken=rng.next(4) != 0, wrong_path_loads=wrong_path)
+        yield branch_op(rng, wrong_path)
 
 
 def calibrated_executor_factory(mispredict_rate: float, seed: int = 0xFACE):

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ..cpu.isa import Load, Store, Work
 from .base import Fragment
-from .common import LINE, Lcg, Region, branch_burst
+from .common import LINE, Lcg, Region, branch_op
 from .pipeline import PipelinedBenchmark
 
 
@@ -64,14 +64,16 @@ class CraftyWorkload(PipelinedBenchmark):
                     legal += yield Load(line + 8 * word)
             # Evaluate: branch storm; mispredicted cutoffs chase a stale
             # pointer into the previous position's (still-unwritten) result.
-            yield from branch_burst(3, rng, wrong)
+            yield branch_op(rng, wrong)
+            yield branch_op(rng, wrong)
+            yield branch_op(rng, wrong)
             yield Work(8)
             score = (legal * (move + 1) + element) & 0xFFFFFFFF
             yield Store(scratch + 8 * (move % 8), score)
             prev = yield Load(scratch + 8 * (move % 8))
             if score > best:
                 best = score
-            yield from branch_burst(1, rng, ())
+            yield branch_op(rng)
             best = (best + (prev & 1)) & 0xFFFFFFFF
         return best
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ..cpu.isa import Load, Store, Work
 from .base import Fragment
-from .common import LINE, Lcg, Region, branch_burst
+from .common import LINE, Lcg, Region, branch_op
 from .pipeline import PipelinedBenchmark
 
 
@@ -70,7 +70,7 @@ class GzipWorkload(PipelinedBenchmark):
             prev = yield Load(table + 8 * (bucket % (self.hash_lines * 8)))
             yield Store(table + 8 * (bucket % (self.hash_lines * 8)), w)
             match = prev != 0 and (byte & 3) == 0
-            yield from branch_burst(1, rng, wrong)
+            yield branch_op(rng, wrong)
             if match:
                 crc = (crc + prev * 3) & 0xFFFFFFFF
             else:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ..cpu.isa import Load, Store, Work
 from .base import Fragment
-from .common import LINE, Lcg, Region, branch_burst
+from .common import LINE, Lcg, Region, branch_op
 from .pipeline import PipelinedBenchmark
 
 
@@ -59,7 +59,7 @@ class HmmerWorkload(PipelinedBenchmark):
                 score = (prev + coeff * (element + pos)) & 0xFFFFFFFF
                 yield Store(cell, score)
             yield Work(10)
-            yield from branch_burst(1, rng, ())
+            yield branch_op(rng)
         return score
 
     def golden(self, i: int) -> int:

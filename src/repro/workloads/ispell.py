@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ..cpu.isa import Load, Store, Work
 from .base import Fragment
-from .common import LINE, Lcg, Region, branch_burst
+from .common import LINE, Lcg, Region, branch_op
 from .pipeline import PipelinedBenchmark
 
 
@@ -56,12 +56,12 @@ class IspellWorkload(PipelinedBenchmark):
             # touches to the same line, so only the first needs an SLA.
             for word in range(6):
                 entry = (entry + (yield Load(line + 8 * (word % 8)))) & 0xFFFFFFFF
-            yield from branch_burst(1, rng, wrong)
+            yield branch_op(rng, wrong)
             found = (found * 31 + entry + element) & 0xFFFFFFFF
             yield Work(6)
         # Scratch note in the word's own result line (re-used, low SLA cost).
         yield Store(self.result_slot(i) + 8, found & 0xFF)
-        yield from branch_burst(1, rng, ())
+        yield branch_op(rng)
         return found
 
     def golden(self, i: int) -> int:

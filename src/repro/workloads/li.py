@@ -15,8 +15,10 @@ from __future__ import annotations
 
 from ..cpu.isa import Load, Store, Work
 from .base import Fragment
-from .common import LINE, Lcg, Region, branch_burst
+from .common import LINE, Lcg, Region, branch_op
 from .pipeline import PipelinedBenchmark
+
+_WORK2 = Work(2)
 
 
 class LiWorkload(PipelinedBenchmark):
@@ -67,14 +69,16 @@ class LiWorkload(PipelinedBenchmark):
             checksum = (checksum * 33 + car) & 0xFFFFFFFF
             # Evaluator dispatch: branchy, occasionally chasing a stale
             # pointer into the previous expression's freshly-written cells.
-            yield from branch_burst(2, rng, wrong if step % 4 == 0 else ())
+            burst_wrong = wrong if step % 4 == 0 else ()
+            yield branch_op(rng, burst_wrong)
+            yield branch_op(rng, burst_wrong)
             if (car + step) % 5 == 0:
                 # Allocate a result cell on this expression's frontier.
                 new_cell = frontier + (allocated % (64 * LINE // 16)) * 16
                 yield Store(new_cell, checksum & 0xFFFF)
                 yield Store(new_cell + 8, cell)
                 allocated += 1
-            yield Work(2)
+            yield _WORK2
             cell = cdr
         return (checksum + allocated) & 0xFFFFFFFF
 

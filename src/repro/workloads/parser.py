@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from ..cpu.isa import Load, Store, Work
 from .base import Fragment
-from .common import LINE, Lcg, Region, branch_burst
+from .common import LINE, Lcg, Region, branch_op
 from .pipeline import PipelinedBenchmark
 
 
@@ -63,13 +63,14 @@ class ParserWorkload(PipelinedBenchmark):
                 entry2 = yield Load(self.dictionary.line((word_id // 7) % dict_lines))
                 # Linkage decision: branches; mispredicted ones chase a
                 # stale pointer into the previous sentence's arena.
-                yield from branch_burst(2, rng, wrong)
+                yield branch_op(rng, wrong)
+                yield branch_op(rng, wrong)
                 if (entry + entry2 + w) % 3 == 0:
                     yield Store(arena + 8 * (nodes % 128), word_id)
                     nodes += 1
                 checksum = (checksum + entry * 2 + entry2) & 0xFFFFFFFF
                 yield Work(2)
-            yield from branch_burst(1, rng, ())
+            yield branch_op(rng)
         return (checksum + nodes) & 0xFFFFFFFF
 
     def golden(self, i: int) -> int:

@@ -175,6 +175,74 @@ class TestLocalImports:
             """) == []
 
 
+class TestHotPathAllocation:
+    def test_list_literal_in_hot_function_is_rl006(self):
+        findings = lint("""
+            def sweep(self, base):  # hot-path
+                acc = []
+                return acc
+            """)
+        assert rules_of(findings) == ["RL006"]
+
+    def test_object_construction_is_rl006(self):
+        findings = lint("""
+            def access(self, addr):  # hot-path
+                view = LineView(self, addr)
+                view.touch()
+            """)
+        assert rules_of(findings) == ["RL006"]
+
+    def test_comprehension_and_closure_are_rl006(self):
+        # The sorted() call itself sits in return position (exempt), but
+        # the comprehension and the lambda it closes over are churn.
+        findings = lint("""
+            def scrub(self):  # hot-path
+                hits = [s for s in self.slots]
+                return sorted(hits, key=lambda s: s.vid)
+            """)
+        assert rules_of(findings) == ["RL006", "RL006"]
+        assert "comprehension" in findings[0].message
+        assert "closure" in findings[1].message
+
+    def test_unmarked_function_is_not_policed(self):
+        assert lint("""
+            def cold(self):
+                return [LineView(self, a) for a in self.addrs]
+            """) == []
+
+    def test_returned_result_object_is_exempt(self):
+        assert lint("""
+            def access(self, addr):  # hot-path
+                self.hits += 1
+                return AccessResult(addr, 1, True, self.name)
+            """) == []
+
+    def test_raise_path_is_exempt(self):
+        assert lint("""
+            def access(self, addr):  # hot-path
+                if addr < 0:
+                    raise AssertionError(f"bad address {addr:x}")
+                self.hits += 1
+            """) == []
+
+    def test_marker_on_multiline_signature_is_found(self):
+        findings = lint("""
+            def access(self, addr,
+                       vid):  # hot-path
+                tmp = {}
+                return tmp
+            """)
+        assert rules_of(findings) == ["RL006"]
+
+    def test_lint_ok_with_reason_suppresses(self):
+        assert lint("""
+            def fold(self, base):  # hot-path
+                # lint-ok: RL006 (epoch fold: once per epoch, not per access)
+                for slot in list(self.bucket):
+                    self.process(slot)
+            """) == []
+
+
 class TestWholeTree:
     def test_src_is_lint_clean(self):
         report = lint_paths()
@@ -187,5 +255,5 @@ class TestWholeTree:
 
     def test_rule_catalog_is_documented(self):
         assert set(LINT_RULES) == {"RL001", "RL002", "RL003", "RL004",
-                                   "RL005"}
+                                   "RL005", "RL006"}
         assert default_lint_root().name == "repro"

@@ -73,9 +73,7 @@ class TestLookup:
         # Force an illegal overlapping version in directly (bypassing
         # install's same-version replacement, but registering it in the
         # set list and version index like any resident line).
-        rogue = line(0x40, State.SM, 2, 2)
-        cache._set_list(cache.set_index(0x40)).append(rogue)
-        cache._index_add(rogue)
+        cache._inject_line(line(0x40, State.SM, 2, 2))
         with pytest.raises(AssertionError):
             cache.lookup(0x40, 5)
 

@@ -114,9 +114,7 @@ class TestSmFilter:
 class TestEvictionStats:
     def test_invalid_fallback_victim_not_counted(self):
         cache = make_cache(assoc=1, sets=1)
-        dead = line(0x40, State.INVALID)
-        cache._set_list(cache.set_index(0x40)).append(dead)
-        cache._index_add(dead)
+        cache._inject_line(line(0x40, State.INVALID))
         evicted = cache.install(line(0x80, State.EXCLUSIVE))
         assert [v.state for v in evicted] == [State.INVALID]
         assert cache.stats.evictions == 0

@@ -82,3 +82,48 @@ class TestQuickModeEndToEnd:
         assert all(w["sim_ops_per_sec"] > 0 for w in run["workloads"].values())
         # The printable table renders without error.
         assert "hot-path bench" in format_bench(run)
+
+
+class TestPhaseProfiler:
+    def test_breakdown_covers_one_real_run(self):
+        from repro.experiments.engine import RunRequest, execute_request
+        from repro.experiments.phase_profile import (
+            PHASES,
+            PhaseProfiler,
+            format_profile,
+        )
+        from repro.coherence.hierarchy import MemoryHierarchy
+        from repro.runtime.scheduler import Scheduler
+        originals = (Scheduler.run, MemoryHierarchy._access)
+        profiler = PhaseProfiler().install()
+        try:
+            record = execute_request(
+                RunRequest(workload="ispell", system="hmtx", scale=0.2,
+                           calibrated=False))
+        finally:
+            profiler.uninstall()
+        # Uninstall restores the untouched originals.
+        assert (Scheduler.run, MemoryHierarchy._access) == originals
+        report = profiler.report(record.wall_seconds)
+        assert set(report["phases"]) == set(PHASES) | {"other"}
+        # Every run spends time in the scheduler and the protocol hit
+        # path; exclusive shares must sum to ~1 with "other" absorbing
+        # the remainder.
+        assert report["phases"]["scheduler"]["seconds"] > 0
+        assert report["phases"]["access"]["calls"] > 0
+        assert abs(sum(row["share"]
+                       for row in report["phases"].values()) - 1.0) < 0.01
+        assert "phase breakdown" in format_profile(report)
+
+    def test_profiled_run_is_behavior_identical(self):
+        from repro.experiments.engine import RunRequest, execute_request
+        from repro.experiments.phase_profile import PhaseProfiler
+        request = RunRequest(workload="ispell", system="hmtx", scale=0.2,
+                             calibrated=False)
+        plain = execute_request(request)
+        profiler = PhaseProfiler().install()
+        try:
+            profiled = execute_request(request)
+        finally:
+            profiler.uninstall()
+        assert plain == profiled  # wall time excluded from equality

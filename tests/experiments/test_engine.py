@@ -43,6 +43,32 @@ class TestDeterminism:
             assert s == p                          # wall time excluded
             assert s.to_report() == p.to_report()  # the bytes CI diffs
 
+    def test_pool_path_equals_serial(self):
+        """Force the real process pool (the CPU cap would otherwise keep
+        a 1-CPU host in-process) and check the fork-shared index dispatch
+        still merges in request order."""
+        serial = SweepEngine(jobs=1).run(REQUESTS)
+        engine = SweepEngine(jobs=2)
+        engine.worker_cap = 2
+        fanned = engine.run(REQUESTS)
+        for s, p in zip(serial, fanned):
+            assert s == p
+            assert s.to_report() == p.to_report()
+
+    def test_jobs_capped_to_cpus_run_in_process(self, monkeypatch):
+        """jobs > CPUs must not pay pool overhead: with a cap of one
+        worker the batch runs in-process (no fork, overhead stays 0)."""
+        import repro.experiments.engine as engine_mod
+        engine = SweepEngine(jobs=4)
+        engine.worker_cap = 1
+        monkeypatch.setattr(
+            engine_mod, "_pool_context",
+            lambda: (_ for _ in ()).throw(AssertionError("pool used")))
+        records = engine.run(REQUESTS)
+        assert [r.workload for r in records] == \
+            [r.workload for r in REQUESTS]
+        assert engine.spawn_overhead_seconds == 0.0
+
     def test_results_in_request_order(self):
         records = SweepEngine().run(REQUESTS)
         assert [r.workload for r in records] == \
