@@ -274,6 +274,12 @@ def main(argv=None) -> int:
              "search, survivor replay")
     p.set_defaults(command="svc")
 
+    p = sub.add_parser(
+        "scaling", add_help=False,
+        help="topology scaling sweep: sockets x cores presets, "
+             "VID-reset storm curve (REPORT_scaling.json)")
+    p.set_defaults(command="scaling")
+
     p = sub.add_parser("run", help="run one benchmark under one system")
     p.add_argument("benchmark", choices=BENCHMARK_NAMES)
     p.add_argument("--system", default="hmtx",
@@ -303,6 +309,10 @@ def main(argv=None) -> int:
         # svc owns its full flag set (and --help) too.
         from .svc.cli import main as svc_main
         return svc_main(argv[1:])
+    if argv[:1] == ["scaling"]:
+        # scaling owns its full flag set (and --help) too.
+        from .experiments.scaling_sweep import main as scaling_main
+        return scaling_main(argv[1:])
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)

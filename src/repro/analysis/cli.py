@@ -66,8 +66,9 @@ def run_passes(args: argparse.Namespace) -> AnalysisReport:
     selected_all = not (args.modelcheck or args.racecheck or args.lint)
     passes: List[PassReport] = []
     if args.modelcheck or selected_all:
-        from .modelcheck import check_protocol  # lint-ok: RL005 (each pass loads only when selected so `analyze --lint` stays import-light)
+        from .modelcheck import check_protocol, check_topology_structure  # lint-ok: RL005 (each pass loads only when selected so `analyze --lint` stays import-light)
         passes.append(check_protocol(vid_bits=args.vid_bits))
+        passes.append(check_topology_structure())
     if args.racecheck or selected_all:
         from .traces import racecheck_backends  # lint-ok: RL005 (pulls in the full backend/runtime stack; loaded only when the pass is selected)
         passes.append(racecheck_backends(backends=_split(args.backends),

@@ -72,7 +72,11 @@ class DirectoryHierarchy(MemoryHierarchy):
         self.dir_stats = DirectoryStats()
         #: line address -> names of caches that may hold a version.
         self._sharers: Dict[int, Set[str]] = {}
-        self._bank_free: List[int] = [0] * config.directory_banks
+        #: Each socket carries its own ``directory_banks`` banks next to
+        #: its LLC slice (one socket — today's flat bank array — when no
+        #: multi-socket topology is declared).
+        sockets = config.topology.sockets if self._multi_socket else 1
+        self._bank_free: List[int] = [0] * (sockets * config.directory_banks)
         self._caches_by_name = {c.name: c for c in self._all_caches()}
 
     # ------------------------------------------------------------------
@@ -92,21 +96,56 @@ class DirectoryHierarchy(MemoryHierarchy):
         return set(self._sharers.get(base, set()))
 
     def check_directory_invariant(self) -> None:
-        """Every cached version's holder appears in the sharer map."""
+        """Every cached version's holder appears in the sharer map.
+
+        Under a multi-socket topology two further invariants bind the
+        sliced LLC to the directory: a line's home slice owns its
+        directory entry (the entry lives in the home socket's banks, so
+        any version resident in a *non-home* slice would be invisible to
+        the probes the home bank sends), and hence no version may reside
+        in a non-home slice at all.
+        """
         for cache in self._all_caches():
+            in_llc = cache in self._llc_group
             for line in cache.all_lines():
                 if line.state is State.INVALID:
                     continue
                 recorded = self._sharers.get(line.addr, set())
                 assert cache.name in recorded, \
                     f"{cache.name} holds 0x{line.addr:x} unrecorded"
+                if in_llc and self._multi_socket:
+                    # Independently recomputed from the topology spec so a
+                    # broken ``_home_llc`` router is caught, not trusted.
+                    home = self.llc_slices[self._topo.home_socket(
+                        line.addr, self.config.line_size)]
+                    assert cache is home, \
+                        (f"version of 0x{line.addr:x} resident in "
+                         f"{cache.name}, not its home slice {home.name}")
 
     # ------------------------------------------------------------------
     # Timing: banked directory instead of one shared bus
     # ------------------------------------------------------------------
 
     def _bank_of(self, addr: int) -> int:
-        return (addr // self.config.line_size) % self.dconfig.directory_banks
+        line = addr // self.config.line_size
+        bank = line % self.dconfig.directory_banks
+        if not self._multi_socket:
+            return bank
+        # The entry lives in the home socket's bank array, co-located with
+        # the home LLC slice.
+        home = self._topo.home_socket(addr, self.config.line_size)
+        return home * self.dconfig.directory_banks + bank
+
+    def _link(self, socket_a: int, socket_b: int) -> int:
+        """One-way tile-to-tile message latency.
+
+        The flat machine keeps the historical uniform ``link_latency``;
+        multi-socket machines charge the topology's intra/cross-socket
+        hops.
+        """
+        if not self._multi_socket:
+            return self.dconfig.link_latency
+        return self._topo.hop_latency(socket_a, socket_b)
 
     def _bank_transaction(self, addr: int, now: int) -> int:
         bank = self._bank_of(addr)
@@ -134,7 +173,13 @@ class DirectoryHierarchy(MemoryHierarchy):
         self.dir_stats.lookups += 1
         l1 = self.l1s[core]
         base = l1.line_addr(addr)
-        latency = self._bank_transaction(base, now) + self.dconfig.link_latency
+        req_socket = self._cache_socket[l1.name]
+        home_socket = (self._topo.home_socket(base, self.config.line_size)
+                       if self._multi_socket else 0)
+        # Request travels to the line's home bank: one intra-socket hop on
+        # the flat machine, a cross-socket hop when the home is remote.
+        latency = self._bank_transaction(base, now) \
+            + self._link(req_socket, home_socket)
         spec_modified_asserted = l1.has_latest_spec_version(addr)
         recorded = [name for name in sorted(self.sharers_of(addr))
                     if name != l1.name]
@@ -152,7 +197,10 @@ class DirectoryHierarchy(MemoryHierarchy):
                     self._sharers.get(base, set()).discard(name)
                 continue
             self.stats.peer_transfers += 1
-            latency += self.dconfig.link_latency
+            # The owner forwards the line directly to the requester
+            # (three-hop protocol); charge the requester<->owner leg.
+            owner_socket = self._cache_socket.get(name, home_socket)
+            latency += self._link(req_socket, owner_socket)
             if self.overflow_table is not None and cache is self.overflow_table:
                 latency += cache.hit_latency
                 self.overflow_table.refills += 1
@@ -205,6 +253,11 @@ class DirectoryHierarchy(MemoryHierarchy):
     # ------------------------------------------------------------------
 
     def _multicast_latency(self) -> int:
+        if self._multi_socket:
+            # Cross-socket tree over the interconnect, then on-die trees;
+            # identical cost model to the base hierarchy's multi-socket
+            # broadcast (the directory just delivers it point-to-point).
+            return self._topo.multicast_latency(self.config.broadcast_latency)
         fanout_depth = max(1, math.ceil(math.log2(self.config.num_cores + 1)))
         return self.config.broadcast_latency \
             + fanout_depth * self.dconfig.link_latency

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import MisspeculationError, SpeculativeOverflowError
+from ..topology import TopologySpec
 from ..txctl.causes import AbortCause
 from .cache import VersionedCache
 from .line import CacheLine, LineView
@@ -75,6 +76,21 @@ class HierarchyConfig:
     #: the LLC spill into a memory-side version table instead of aborting
     #: ("unlimited read and write sets").
     unbounded_sets: bool = False
+    #: Machine shape (sockets, LLC slices, NUMA hops).  ``None`` or any
+    #: 1-socket spec is the flat Table 2 machine: one shared LLC with the
+    #: ``l2_*`` geometry, no NUMA charges — bit-identical to the
+    #: pre-topology hierarchy.  A multi-socket spec slices the LLC per
+    #: socket and charges intra/cross-socket hop latencies.
+    topology: Optional[TopologySpec] = None
+
+    def __post_init__(self) -> None:
+        if self.topology is not None \
+                and self.topology.num_cores != self.num_cores:
+            raise ValueError(
+                f"topology describes {self.topology.num_cores} cores "
+                f"({self.topology.sockets}x"
+                f"{self.topology.cores_per_socket}) but num_cores is "
+                f"{self.num_cores}")
 
 
 class AccessResult:
@@ -153,9 +169,48 @@ class MemoryHierarchy:
                 hit_latency=cfg.l1_latency, vid_bits=cfg.vid_bits)
             for i in range(cfg.num_cores)
         ]
-        self.l2 = VersionedCache(
-            "L2", cfg.l2_size, cfg.l2_assoc, cfg.line_size,
-            hit_latency=cfg.l2_latency, vid_bits=cfg.vid_bits)
+        topo = cfg.topology
+        #: True only for a declared multi-socket machine; every NUMA
+        #: charge below is gated on it so the flat machine's timing is
+        #: bit-identical to the pre-topology hierarchy.
+        self._multi_socket = topo is not None and not topo.flat
+        self._topo = topo
+        if self._multi_socket:
+            # One LLC slice per socket; line addresses interleave across
+            # home sockets, so each slice (and its directory state in the
+            # directory subclass) owns a disjoint slice of the line space.
+            self.llc_slices: Tuple[VersionedCache, ...] = tuple(
+                VersionedCache(
+                    f"LLC[{s}]", topo.llc_slice_size, topo.llc_slice_assoc,
+                    cfg.line_size, hit_latency=topo.llc_slice_latency,
+                    vid_bits=cfg.vid_bits)
+                for s in range(topo.sockets))
+            self._llc_latency = topo.llc_slice_latency
+        else:
+            self.llc_slices = (VersionedCache(
+                "L2", cfg.l2_size, cfg.l2_assoc, cfg.line_size,
+                hit_latency=cfg.l2_latency, vid_bits=cfg.vid_bits),)
+            self._llc_latency = cfg.l2_latency
+        #: Alias kept for the flat machine's callers (and slice 0 of a
+        #: multi-socket one, whose geometry helpers are shared anyway).
+        self.l2 = self.llc_slices[0]
+        self._llc_group = frozenset(self.llc_slices)
+        #: Socket owning each cache, by name (L1s follow their core;
+        #: slices their socket).  Flat machines map everything to 0.
+        self._cache_socket: Dict[str, int] = {}
+        for i, l1 in enumerate(self.l1s):
+            self._cache_socket[l1.name] = (
+                topo.socket_of_core(i) if self._multi_socket else 0)
+        for s, llc in enumerate(self.llc_slices):
+            self._cache_socket[llc.name] = s
+        # Broadcast costs are pure functions of the shape: precompute.
+        if self._multi_socket:
+            self._commit_cost = topo.multicast_latency(cfg.broadcast_latency)
+            self._reset_cost = topo.reset_scrub_latency(
+                cfg.broadcast_latency, topo.llc_slice_latency)
+        else:
+            self._commit_cost = cfg.broadcast_latency
+            self._reset_cost = cfg.broadcast_latency
         self.stats = HierarchyStats()
         #: Section 8 extension: memory-side home for overflowed versions.
         self.overflow_table: Optional[OverflowVersionTable] = None
@@ -186,19 +241,44 @@ class MemoryHierarchy:
             cache.presence_listener = self._on_presence
 
     def _rebuild_cache_lists(self) -> None:
-        caches: List[VersionedCache] = list(self.l1s) + [self.l2]
+        caches: List[VersionedCache] = list(self.l1s) + list(self.llc_slices)
         if self.overflow_table is not None:
             caches.append(self.overflow_table)
         self._caches = tuple(caches)
         self._peer_lists = []
         for core in range(len(self.l1s)):
             peers = [c for i, c in enumerate(self.l1s) if i != core]
-            peers.append(self.l2)
+            peers.extend(self.llc_slices)
             if self.overflow_table is not None:
                 # Consulted last: a version found here pays memory latency
                 # plus the software-structure management cost.
                 peers.append(self.overflow_table)
             self._peer_lists.append(tuple(peers))
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+
+    def _home_llc(self, addr: int) -> VersionedCache:
+        """The LLC slice owning ``addr``'s line (the shared L2 when flat)."""
+        if not self._multi_socket:
+            return self.l2
+        return self.llc_slices[
+            self._topo.home_socket(addr, self.config.line_size)]
+
+    def _numa_hop(self, core: int, owner_name: Optional[str],
+                  base: int) -> int:
+        """One-way hop from ``core`` to the responder (0 on flat machines).
+
+        ``owner_name`` is the serving cache's name, or ``None`` when memory
+        (or the memory-side overflow table) responds — those sit behind the
+        line's home socket's memory controller.
+        """
+        req = self._cache_socket[self.l1s[core].name]
+        owner = self._cache_socket.get(owner_name) if owner_name else None
+        if owner is None:
+            owner = self._topo.home_socket(base, self.config.line_size)
+        return self._topo.hop_latency(req, owner)
 
     def _on_presence(self, cache: VersionedCache, base: int,
                      present: bool) -> None:
@@ -277,7 +357,7 @@ class MemoryHierarchy:
         hit = l1.lookup(addr, vid)
         if hit is not None:
             return hit.data[self._word(addr)], l1.hit_latency
-        latency = l1.hit_latency + self.config.l2_latency
+        latency = l1.hit_latency + self._llc_latency
         for cache in self._peer_caches(core):
             line = cache.lookup(addr, vid)
             if line is not None and line.state is not State.SS:
@@ -289,29 +369,36 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
 
     def commit(self, vid: int) -> int:
-        """Group-commit transaction ``vid`` everywhere; returns latency."""
+        """Group-commit transaction ``vid`` everywhere; returns latency.
+
+        Flat machines pay the bus broadcast; multi-socket machines pay the
+        precomputed multicast-tree cost (cross-socket fan-out, then on-die).
+        """
         self.stats.commits += 1
         for cache in self._caches:
             cache.broadcast_commit(vid)
-        return self.config.broadcast_latency
+        return self._commit_cost
 
     def abort(self) -> int:
         """Flush all uncommitted transactional state; returns latency."""
         self.stats.aborts += 1
         for cache in self._caches:
             cache.broadcast_abort()
-        return self.config.broadcast_latency
+        return self._commit_cost
 
     def vid_reset(self) -> int:
         """Perform the section 4.6 VID reset; returns latency.
 
         Legal only after every outstanding transaction has committed (the
         software side guarantees this before raising the reset signal).
+        Multi-socket machines pay the reset-scrub barrier on top of the
+        multicast tree: every LLC slice sweeps and acknowledges, so the
+        stall grows with the socket count (the ROADMAP's reset-storm knee).
         """
         self.stats.vid_resets += 1
         for cache in self._caches:
             cache.vid_reset()
-        return self.config.broadcast_latency
+        return self._reset_cost
 
     # ------------------------------------------------------------------
     # Introspection helpers (tests, experiments)
@@ -345,6 +432,7 @@ class MemoryHierarchy:
         held: Dict[int, Set[VersionedCache]] = {}
         for cache in self._all_caches():
             cache.check_index_integrity()
+            in_llc = cache in self._llc_group
             for line in cache.all_lines():
                 held.setdefault(line.addr, set()).add(cache)
                 if line.state in (State.SM, State.SE):
@@ -353,6 +441,18 @@ class MemoryHierarchy:
                             f"two latest versions of 0x{line.addr:x}: "
                             f"{latest_owners[line.addr]} and {cache.name}")
                     latest_owners[line.addr] = cache.name
+                if in_llc and self._multi_socket:
+                    # Sliced-LLC ownership: a line only ever resides in its
+                    # home slice — victims route there, and installs never
+                    # target a foreign slice.  Recomputed from the topology
+                    # spec (not via ``_home_llc``) so a broken router
+                    # cannot vouch for its own placement.
+                    home = self.llc_slices[self._topo.home_socket(
+                        line.addr, self.config.line_size)]
+                    if cache is not home:
+                        raise AssertionError(
+                            f"version of 0x{line.addr:x} resident in "
+                            f"{cache.name} but homed at {home.name}")
         assert held == self._holders, "presence map diverged from contents"
 
     # ------------------------------------------------------------------
@@ -561,7 +661,7 @@ class MemoryHierarchy:
         self.stats.bus_snoops += 1
         l1 = self.l1s[core]
         base = l1.line_addr(addr)
-        latency = self.config.l2_latency  # bus + L2 lookup window
+        latency = self._llc_latency  # bus + LLC lookup window
         spec_modified_asserted = l1.has_latest_spec_version(addr)
         holders = self._holders.get(base)
         if holders:
@@ -578,11 +678,18 @@ class MemoryHierarchy:
                         and cache is self.overflow_table:
                     latency += cache.hit_latency
                     self.overflow_table.refills += 1
+                if self._multi_socket:
+                    # The line transfer crosses the socket interconnect
+                    # when the responder lives on another die.
+                    latency += self._numa_hop(core, cache.name, base)
                 line = self._receive_from_owner(core, cache, owner, vid, kind)
                 return line, latency, cache.name
         # No cache can serve the request: memory responds.
         self.stats.memory_fetches += 1
         latency += self.config.memory_latency
+        if self._multi_socket:
+            # Memory is reached through the line's home socket's controller.
+            latency += self._numa_hop(core, None, base)
         data = self.memory.read_line(addr)
         eff = l1.effective_vid(vid)
         if spec_modified_asserted:
@@ -820,13 +927,14 @@ class MemoryHierarchy:
     def _handle_victim(self, cache: VersionedCache, victim: CacheLine) -> None:
         if victim.state is State.INVALID:
             return
-        if cache is not self.l2:
+        if cache not in self._llc_group:
             # L1 victim: S-S peer copies are silently droppable; clean
             # non-speculative lines need no writeback; everything else moves
-            # down to the L2 "as normal" (section 4.1).
+            # down to the line's home LLC slice "as normal" (section 4.1) —
+            # the single shared L2 on a flat machine.
             if victim.state in (State.SS, State.SHARED, State.EXCLUSIVE):
                 return
-            self._install(self.l2, victim)
+            self._install(self._home_llc(victim.addr), victim)
             return
         # Last-level cache victim: section 5.4 rules.
         if victim.state in (State.MODIFIED, State.OWNED):

@@ -19,9 +19,11 @@ The default :class:`MachineConfig` reproduces this table; experiments vary
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..coherence.hierarchy import HierarchyConfig
 from ..cpu.isa import OpCosts
+from ..topology import PLACEMENT_POLICIES, TopologySpec, topology_preset
 
 
 @dataclass
@@ -43,6 +45,20 @@ class MachineConfig:
     #: Coherence organisation: "snoopy" (the paper's design) or
     #: "directory" (the section 8 scaling extension).
     coherence: str = "snoopy"
+    #: Machine shape (sockets × cores-per-socket, LLC slices, NUMA hops).
+    #: ``None`` is the flat Table 2 machine; multi-socket specs slice the
+    #: LLC per socket.  When set, its core count must equal ``num_cores``.
+    topology: Optional[TopologySpec] = None
+    #: Thread-placement policy: "pack" fills cores in id order (the
+    #: historical mapping — flat machines are unaffected); "spread"
+    #: round-robins worker threads across sockets first.
+    placement: str = "pack"
+    #: Directory knobs (only meaningful with ``coherence="directory"``;
+    #: per-socket under a multi-socket topology).
+    directory_banks: int = 8
+    directory_latency: int = 12
+    bank_occupancy: int = 4
+    link_latency: int = 10
     #: Section 8 extension: spill speculative LLC victims to a memory-side
     #: version table instead of aborting ("unlimited read and write sets").
     unbounded_sets: bool = False
@@ -51,6 +67,19 @@ class MachineConfig:
     #: iteration (section 2.1).
     queue_latency: int = 40
     op_costs: OpCosts = field(default_factory=OpCosts)
+
+    def __post_init__(self) -> None:
+        if self.topology is not None \
+                and self.topology.num_cores != self.num_cores:
+            raise ValueError(
+                f"topology describes {self.topology.num_cores} cores "
+                f"({self.topology.sockets}x"
+                f"{self.topology.cores_per_socket}) but num_cores is "
+                f"{self.num_cores}")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(f"unknown placement policy "
+                             f"{self.placement!r}; choose from "
+                             f"{PLACEMENT_POLICIES}")
 
     def hierarchy_config(self) -> HierarchyConfig:
         """Project the machine configuration onto the cache hierarchy."""
@@ -66,10 +95,16 @@ class MachineConfig:
             memory_latency=self.memory_latency,
             vid_bits=self.vid_bits,
             unbounded_sets=self.unbounded_sets,
+            topology=self.topology,
         )
         if self.coherence == "directory":
             from ..coherence.directory import DirectoryConfig  # lint-ok: RL005 (coherence.directory imports this module's configs; a top-level import would cycle)
-            return DirectoryConfig(**kwargs)
+            return DirectoryConfig(
+                directory_banks=self.directory_banks,
+                directory_latency=self.directory_latency,
+                bank_occupancy=self.bank_occupancy,
+                link_latency=self.link_latency,
+                **kwargs)
         if self.coherence != "snoopy":
             raise ValueError(f"unknown coherence organisation "
                              f"{self.coherence!r}")
@@ -86,6 +121,28 @@ class MachineConfig:
     def cycles_to_seconds(self, cycles: int) -> float:
         """Convert a cycle count to wall-clock seconds at ``clock_ghz``."""
         return cycles / (self.clock_ghz * 1e9)
+
+    def socket_of_core(self, core: int) -> int:
+        """Socket owning ``core`` (0 for every core on a flat machine)."""
+        if self.topology is None:
+            return 0
+        return self.topology.socket_of_core(core)
+
+    @classmethod
+    def for_topology(cls, preset_or_spec, coherence: str = "directory",
+                     **overrides) -> "MachineConfig":
+        """Machine for a topology preset name (or spec).
+
+        Multi-socket machines default to directory coherence — the
+        section 8 scaling organisation the topology exists for; pass
+        ``coherence="snoopy"`` to model a (non-scalable) global bus.
+        """
+        spec = (topology_preset(preset_or_spec)
+                if isinstance(preset_or_spec, str) else preset_or_spec)
+        overrides.setdefault("num_cores", spec.num_cores)
+        overrides.setdefault("coherence",
+                             "snoopy" if spec.flat else coherence)
+        return cls(topology=None if spec.flat else spec, **overrides)
 
 
 def table2_config() -> MachineConfig:

@@ -81,6 +81,14 @@ class HMTXSystem:
             raise ValueError(f"core {core} out of range")
         self.contexts[tid].core = core
 
+    def socket_of_core(self, core: int) -> int:
+        """Socket owning ``core`` (0 for every core on a flat machine)."""
+        return self.config.socket_of_core(core)
+
+    def socket_of_thread(self, tid: int) -> int:
+        """Socket the thread currently runs on (follows migration)."""
+        return self.config.socket_of_core(self.contexts[tid].core)
+
     # ------------------------------------------------------------------
     # VID lifecycle (sections 4.6, 4.7)
     # ------------------------------------------------------------------

@@ -54,6 +54,11 @@ class Attribution:
     per_thread: Dict[int, Dict[str, int]]
     #: Sum of per-thread cycles by category.
     totals: Dict[str, int] = field(default_factory=dict)
+    #: socket -> category -> cycles; ``{0: totals}`` on a flat machine.
+    #: This is where the topology's reset-storm story shows up: a remote
+    #: socket's threads burning ``vid_reset``/``commit_stall`` cycles
+    #: while the home socket commits.
+    per_socket: Dict[int, Dict[str, int]] = field(default_factory=dict)
     identity_ok: bool = True
 
     @property
@@ -140,10 +145,19 @@ def attribute(session) -> Attribution:
     for cats in per_thread.values():
         for category, cycles in cats.items():
             totals[category] = totals.get(category, 0) + cycles
+    thread_sockets = getattr(session, "thread_sockets", {})
+    per_socket: Dict[int, Dict[str, int]] = {}
+    for tid, cats in per_thread.items():
+        socket = thread_sockets.get(tid, 0)
+        bucket = per_socket.setdefault(socket, {})
+        for category, cycles in cats.items():
+            bucket[category] = bucket.get(category, 0) + cycles
     return Attribution(makespan=makespan,
                        categories=[c or "useful" for c in final],
                        per_thread=per_thread,
                        totals=dict(sorted(totals.items())),
+                       per_socket={s: dict(sorted(cats.items()))
+                                   for s, cats in sorted(per_socket.items())},
                        identity_ok=identity_ok)
 
 
@@ -155,6 +169,25 @@ def hot_lines(counts: Dict[int, int], top: int = 5) -> List[Tuple[str, int]]:
     """Top-N ``(hex line, count)``, count-descending then address."""
     ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
     return [(f"0x{line:x}", count) for line, count in ranked[:top]]
+
+
+def hot_lines_by_socket(session, counts: Dict[int, int],
+                        top: int = 5) -> Dict[str, List[Tuple[str, int]]]:
+    """Top-N hot lines grouped by the line's *home socket*.
+
+    On a flat machine everything homes at socket 0, so this degenerates
+    to ``{"0": hot_lines(counts)}``; on a sliced-LLC machine it shows
+    which socket's slice (and directory banks) each hot line pressures.
+    """
+    topology = getattr(session, "topology", None)
+    line_size = getattr(session, "_line_size", 64)
+    grouped: Dict[int, Dict[int, int]] = {}
+    for line, count in counts.items():
+        home = (topology.home_socket(line, line_size)
+                if topology is not None else 0)
+        grouped.setdefault(home, {})[line] = count
+    return {str(socket): hot_lines(socket_counts, top)
+            for socket, socket_counts in sorted(grouped.items())}
 
 
 def digest(session, attribution: Attribution,
@@ -170,14 +203,22 @@ def digest(session, attribution: Attribution,
         "schema": "hmtx-obs-digest/1",
         "makespan": attribution.makespan,
         "categories": attribution.totals,
+        # Keyed by str(socket) so the digest survives a JSON round-trip
+        # unchanged (byte-identity across --jobs relies on it).
+        "per_socket": {str(s): cats
+                       for s, cats in attribution.per_socket.items()},
         "total_thread_cycles": attribution.total_thread_cycles,
         "identity_ok": attribution.identity_ok,
         "commits": sum(1 for s in spans if s.outcome == "commit"),
         "aborts": sum(1 for e in session.events if e["kind"] == "abort"),
         "aborts_by_cause": dict(sorted(aborts_by_cause.items())),
+        "vid_resets": sum(1 for e in session.events
+                          if e["kind"] == "vid_reset"),
         "spans": len(spans),
         "hot_conflict_lines": hot_lines(session.line_conflict_counts, top),
         "hot_access_lines": hot_lines(session.line_access_counts, top),
+        "hot_conflict_lines_by_socket":
+            hot_lines_by_socket(session, session.line_conflict_counts, top),
         # Latency distributions (commit latency, svc queue wait/sojourn)
         # as plain cumulative-bucket snapshots, so tail-quantile
         # consumers can rebuild Histograms on the far side of a pool
@@ -199,6 +240,14 @@ def format_breakdown(attribution: Attribution,
         share = 100.0 * cycles / total
         lines.append(f"  {category.ljust(width)}  {cycles:>12,}  "
                      f"{share:5.1f}%")
+    if len(attribution.per_socket) > 1:
+        for socket, cats in sorted(attribution.per_socket.items()):
+            socket_total = sum(cats.values())
+            interesting = {c: cats.get(c, 0)
+                           for c in ("vid_reset", "commit_stall")}
+            detail = ", ".join(f"{c} {v:,}" for c, v in interesting.items())
+            lines.append(f"  socket {socket}: {socket_total:>12,} cycles "
+                         f"({detail})")
     if not attribution.identity_ok:
         lines.append("  !! identity violated: categories do not sum to "
                      "makespan on every thread")

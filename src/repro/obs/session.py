@@ -68,6 +68,9 @@ class ObsSession:
         self.runnable_track: List[Tuple[int, int]] = []
         self.live_vid_track: List[Tuple[int, int]] = []
         self.thread_cores: Dict[int, int] = {}
+        #: tid -> socket (0 for every thread on a flat machine), filled at
+        #: finalize from the scheduler's core map + the machine topology.
+        self.thread_sockets: Dict[int, int] = {}
         self.stall_cycles_total = 0
         self.makespan = 0
         self.runnable_sample_every = runnable_sample_every
@@ -78,6 +81,8 @@ class ObsSession:
         self._systems: List[Any] = []
         self._schedulers: List[Any] = []
         self._line_size = 64
+        #: Machine topology of the attached system (None when flat).
+        self.topology = None
         self._current_tid: Optional[int] = None
         self._current_thread: Optional[Any] = None
         self._in_op = False
@@ -113,8 +118,11 @@ class ObsSession:
             return
         self._finalized = True
         for scheduler in self._schedulers:
+            socket_of = getattr(scheduler, "socket_of", None)
             for thread in scheduler.threads:
                 self.thread_cores[thread.tid] = thread.core
+                self.thread_sockets[thread.tid] = (
+                    socket_of(thread.core) if socket_of is not None else 0)
                 if thread.clock > self.makespan:
                     self.makespan = thread.clock
         if result is not None and result.cycles > self.makespan:
@@ -140,6 +148,9 @@ class ObsSession:
         self._systems.append(system)
         stats = getattr(system, "stats", None)
         self._line_size = getattr(stats, "line_size", 64)
+        config = getattr(system, "config", None)
+        if config is not None:
+            self.topology = getattr(config, "topology", None)
         for name in ("load", "store", "kernel_load", "kernel_store"):
             if hasattr(system, name):
                 self._wrap_access(system, name)
@@ -544,7 +555,9 @@ class ObsSession:
                          "overflow_retrievals", "spec_overflow_spills"):
                 registry.counter(f"coherence_{name}_total") \
                     .inc(getattr(hstats, name))
-            for cache in list(hierarchy.l1s) + [hierarchy.l2]:
+            for cache in (list(hierarchy.l1s)
+                          + list(getattr(hierarchy, "llc_slices",
+                                         (hierarchy.l2,)))):
                 registry.counter("cache_hits_total",
                                  cache=cache.name).inc(cache.stats.hits)
                 registry.counter("cache_misses_total",

@@ -90,7 +90,7 @@ def run_doall(workload: Workload, config: Optional[MachineConfig] = None,
 
     scheduler = make_scheduler(system, interrupts, executor_factory)
     for w, program in build().items():
-        scheduler.add_thread(w, core=w % system.config.num_cores, program=program)
+        scheduler.add_thread(w, core=scheduler.place_core(w), program=program)
     outcome = run_with_recovery(
         scheduler, system, workload,
         lambda serial=False: build(system.stats.committed, serial),

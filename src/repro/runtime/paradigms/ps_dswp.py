@@ -136,7 +136,7 @@ def run_ps_dswp(workload: Workload, config: Optional[MachineConfig] = None,
 
     scheduler = make_scheduler(system, interrupts, executor_factory)
     for tid, program in build().items():
-        scheduler.add_thread(tid, core=tid % num_cores, program=program)
+        scheduler.add_thread(tid, core=scheduler.place_core(tid), program=program)
     outcome = run_with_recovery(
         scheduler, system, workload,
         lambda serial=False: build(system.stats.committed, serial),

@@ -25,6 +25,7 @@ from ..cpu.core_model import CoreExecutor
 from ..cpu.interrupts import InterruptInjector
 from ..cpu.isa import Branch, Consume, Load, Op, Produce, Store, Work
 from ..errors import ReproError
+from ..topology import place_core
 from .queues import QueueSet
 
 Program = Generator[Op, Any, None]
@@ -108,6 +109,24 @@ class Scheduler:
         self.threads.append(handle)
         self._core_clock.setdefault(core, 0)
         return handle
+
+    def place_core(self, index: int) -> int:
+        """Core for the ``index``-th worker under the machine's placement.
+
+        Paradigms route their worker→core mapping through here so the
+        ``MachineConfig.placement`` knob (``pack``/``spread``) and the
+        socket topology apply uniformly; on a flat machine this is the
+        historical ``index % num_cores``.
+        """
+        config = self.system.config
+        return place_core(index, config.num_cores,
+                          getattr(config, "topology", None),
+                          getattr(config, "placement", "pack"))
+
+    def socket_of(self, core: int) -> int:
+        """Socket owning ``core`` (0 on flat machines)."""
+        topology = getattr(self.system.config, "topology", None)
+        return 0 if topology is None else topology.socket_of_core(core)
 
     def replace_programs(self, programs: Dict[int, Program]) -> None:
         """Swap in fresh generators (abort recovery), keeping clocks."""

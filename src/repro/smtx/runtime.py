@@ -60,8 +60,14 @@ def run_smtx(workload: Workload, config: Optional[MachineConfig] = None,
     machine = config or MachineConfig()
     if machine.num_cores < 2:
         raise ValueError("SMTX needs at least 2 cores (worker + commit)")
-    worker_config = MachineConfig(**{**machine.__dict__,
-                                     "num_cores": machine.num_cores - 1})
+    if machine.topology is None:
+        worker_config = MachineConfig(**{**machine.__dict__,
+                                         "num_cores": machine.num_cores - 1})
+    else:
+        # A declared topology fixes the core count (sockets × cores per
+        # socket), so the commit process cannot shrink it; it runs as an
+        # extra tile on socket 0 and workers keep the full machine.
+        worker_config = machine
     predicate = validation_predicate_for(workload, mode)
 
     def factory() -> SMTXSystem:

@@ -1,0 +1,73 @@
+"""Per-socket cycle attribution through the obs layer (PR-8 tentpole)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.experiments.engine import RunRequest, execute_request
+from repro.obs.profile import format_breakdown, hot_lines_by_socket
+from repro.topology import TopologySpec
+
+
+@pytest.fixture(scope="module")
+def record():
+    machine = MachineConfig.for_topology(
+        TopologySpec(sockets=2, cores_per_socket=4))
+    return execute_request(RunRequest(workload="contended-list",
+                                      system="hmtx", scale=1.0,
+                                      machine=machine, observe=True))
+
+
+class TestPerSocketDigest:
+    def test_digest_carries_per_socket_categories(self, record):
+        digest = record.obs_digest
+        assert set(digest["per_socket"]) <= {"0", "1"}
+        assert len(digest["per_socket"]) >= 1
+
+    def test_per_socket_sums_to_totals(self, record):
+        digest = record.obs_digest
+        for category, cycles in digest["categories"].items():
+            split = sum(cats.get(category, 0)
+                        for cats in digest["per_socket"].values())
+            assert split == cycles, category
+
+    def test_hot_conflict_lines_grouped_by_home_socket(self, record):
+        digest = record.obs_digest
+        grouped = digest["hot_conflict_lines_by_socket"]
+        flattened = {line for ranked in grouped.values()
+                     for line, _ in ranked}
+        top = {line for line, _ in digest["hot_conflict_lines"]}
+        assert top <= flattened
+
+    def test_vid_reset_count_present(self, record):
+        assert record.obs_digest["vid_resets"] >= 0
+
+
+class TestFlatDegenerates:
+    def test_flat_run_attributes_everything_to_socket_zero(self):
+        flat = execute_request(RunRequest(workload="contended-list",
+                                          system="hmtx", scale=1.0,
+                                          observe=True))
+        digest = flat.obs_digest
+        assert set(digest["per_socket"]) == {"0"}
+        assert digest["per_socket"]["0"] == digest["categories"]
+
+    def test_hot_lines_by_socket_flat_single_group(self):
+        grouped = hot_lines_by_socket(
+            type("S", (), {"topology": None})(), {0x40: 3, 0x80: 1})
+        assert set(grouped) == {"0"}
+        assert grouped["0"][0] == ("0x40", 3)
+
+
+def test_breakdown_prints_socket_lines_when_multi():
+    from repro.obs.profile import Attribution
+
+    attribution = Attribution(
+        makespan=100, categories=[],
+        per_thread={0: {"useful": 100}, 1: {"vid_reset": 100}},
+        totals={"useful": 100, "vid_reset": 100},
+        per_socket={0: {"useful": 100}, 1: {"vid_reset": 100}})
+    text = format_breakdown(attribution)
+    assert "socket 0" in text and "socket 1" in text
+    assert "vid_reset 100" in text
