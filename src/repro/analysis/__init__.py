@@ -16,11 +16,21 @@ Three coordinated static/dynamic analysis passes, all reachable through
     forwarded values, group-commit atomicity violations, aborts attributed
     to committed VIDs, and VID-recycling hazards.
 ``lint``
-    AST-based repo-specific rules (RL001..RL005): abort-cause stamping,
+    AST-based repo-specific rules (RL001..RL007): abort-cause stamping,
     protocol purity, ``__slots__`` discipline, wall-clock-free cache keys,
-    and no undocumented function-local imports.
+    no undocumented function-local imports, and report-path determinism
+    (no unordered-set iteration or ``id()`` ordering feeding output).
+``explore`` (opt-in: ``analyze --explore``)
+    The interleaving-level stateful model checker: drives the real
+    ``MemoryHierarchy`` / ``DirectoryHierarchy`` through every schedule
+    of a bounded scenario, quotienting by VID-rank renaming and the
+    2-socket mirror symmetry, and checks the global rules EX001
+    (serializability), EX002 (no lost updates), EX003 (directory-cache
+    agreement on every reachable state), EX004 (liveness).  Violations
+    are delta-debugged into replayable counterexample artifacts.
 
-See DESIGN.md section 10 for the rule catalog and counterexample format.
+See DESIGN.md sections 10 and 15 for the rule catalogs and
+counterexample formats.
 """
 
 from .findings import AnalysisReport, Finding, PassReport
@@ -35,6 +45,17 @@ __all__ = [
     "PassReport",
     "check_protocol",
     "check_trace",
+    "explore_pass",
     "lint_paths",
     "lint_source",
+    "replay_counterexample",
 ]
+
+
+def __getattr__(name):
+    # PEP 562 lazy exports: the explorer pulls in the full coherence
+    # stack, which `import repro.analysis` alone should not pay for.
+    if name in ("explore_pass", "replay_counterexample"):
+        from . import explore  # lint-ok: RL005 (lazy PEP 562 export; keeps `import repro.analysis` import-light)
+        return getattr(explore, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

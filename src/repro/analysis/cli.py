@@ -1,8 +1,11 @@
 """``python -m repro analyze`` — run the static/dynamic analysis passes.
 
-With no pass flags all three run (model check, racecheck, lint).  Exit
-status is 0 when every selected pass is clean, 1 when any pass produced
-an error-severity finding — which is what the CI ``analysis`` job keys
+With no pass flags the three default passes run (model check, racecheck,
+lint); ``--explore`` opts into the interleaving-level stateful model
+checker (``repro.analysis.explore``), which drives the real coherence
+stack through every schedule of a bounded scenario preset.  Exit status
+is 0 when every selected pass is clean, 1 when any pass produced an
+error-severity finding — which is what the CI ``analysis`` job keys
 off.  ``--format json`` emits the machine-readable
 ``hmtx-analysis-report/1`` schema for tooling; ``--output`` tees the
 report to a file (the CI counterexample artifact).
@@ -32,6 +35,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "and replay MTX semantics")
     parser.add_argument("--lint", action="store_true",
                         help="run the repo-specific AST lint over src/")
+    parser.add_argument("--explore", action="store_true",
+                        help="run the interleaving explorer (EX001-EX004) "
+                             "over a bounded scenario preset")
     parser.add_argument("--vid-bits", type=int, default=6, metavar="M",
                         help="VID width for the model checker "
                              "(default: the paper's m=6)")
@@ -47,6 +53,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--paths", nargs="*", default=None,
                         help="files/directories to lint "
                              "(default: the repro package)")
+    parser.add_argument("--preset", default="small", metavar="NAME",
+                        help="explorer scenario preset "
+                             "(small | chain | scrub; default small)")
+    parser.add_argument("--shapes", default=None, metavar="S,T",
+                        help="comma-separated machine shapes to explore "
+                             "(default: flat,2socket)")
+    parser.add_argument("--inject", default=None, metavar="BUG",
+                        help="explore with a mutation hook enabled "
+                             "(mutation-kill gate; see INJECTIONS)")
+    parser.add_argument("--max-states", type=int, default=None, metavar="N",
+                        help="explorer state budget "
+                             "(default 20000; exhaustion is reported)")
+    parser.add_argument("--depth", type=int, default=None, metavar="D",
+                        help="explorer schedule-depth budget (default 80)")
+    parser.add_argument("--no-reduce", action="store_true",
+                        help="disable the canonicalization quotient "
+                             "(VID renaming + socket mirror)")
+    parser.add_argument("--emit-counterexamples", default=None,
+                        metavar="DIR",
+                        help="write each minimized counterexample as a "
+                             "replayable JSON artifact under DIR")
     parser.add_argument("--format", choices=("text", "json"),
                         default="text", dest="fmt")
     parser.add_argument("--output", default=None, metavar="FILE",
@@ -63,7 +90,8 @@ def _split(value: Optional[str]) -> Optional[List[str]]:
 
 
 def run_passes(args: argparse.Namespace) -> AnalysisReport:
-    selected_all = not (args.modelcheck or args.racecheck or args.lint)
+    selected_all = not (args.modelcheck or args.racecheck or args.lint
+                        or args.explore)
     passes: List[PassReport] = []
     if args.modelcheck or selected_all:
         from .modelcheck import check_protocol, check_topology_structure  # lint-ok: RL005 (each pass loads only when selected so `analyze --lint` stays import-light)
@@ -78,6 +106,20 @@ def run_passes(args: argparse.Namespace) -> AnalysisReport:
         from .lint import lint_paths  # lint-ok: RL005 (symmetry with the other passes; loaded only when selected)
         paths = [Path(p) for p in args.paths] if args.paths else None
         passes.append(lint_paths(paths))
+    if args.explore:
+        # Opt-in only: deliberately not part of the default pass set —
+        # exploring deep-copies the full hierarchy per transition.
+        from .explore import DEFAULT_MAX_DEPTH, DEFAULT_MAX_STATES, SHAPES, explore_pass  # lint-ok: RL005 (each pass loads only when selected so `analyze --lint` stays import-light)
+        passes.append(explore_pass(
+            preset=args.preset,
+            shapes=tuple(_split(args.shapes) or SHAPES),
+            inject=args.inject,
+            reduce=not args.no_reduce,
+            max_states=(args.max_states if args.max_states is not None
+                        else DEFAULT_MAX_STATES),
+            max_depth=(args.depth if args.depth is not None
+                       else DEFAULT_MAX_DEPTH),
+            emit_dir=args.emit_counterexamples))
     return AnalysisReport(passes=passes)
 
 

@@ -32,6 +32,11 @@ class Finding:
     message: str
     #: Counterexample / context: the transition taken, expected vs got.
     detail: str = ""
+    #: Structured, machine-readable counterexample: the exact inputs that
+    #: reproduce the violation (modelcheck state tuples, explore schedules).
+    #: ``None`` when a pass has no structured form; omitted from JSON then,
+    #: so reports without counterexamples are byte-identical to before.
+    counterexample: Optional[Dict[str, Any]] = None
 
     def render(self) -> str:
         text = f"{self.rule} [{self.severity}] {self.where}: {self.message}"
@@ -40,7 +45,10 @@ class Finding:
         return text
 
     def to_json(self) -> Dict[str, Any]:
-        return asdict(self)
+        data = asdict(self)
+        if data["counterexample"] is None:
+            del data["counterexample"]
+        return data
 
 
 @dataclass

@@ -43,6 +43,16 @@ Rule catalog (details in DESIGN.md section 10):
     struct-of-arrays rewrite exists to avoid.  Constructing the result
     object a ``return`` hands back (or an exception a ``raise`` throws on
     the failure path) is the function's contract and is exempt.
+``RL007`` determinism in report/output paths
+    Every report, digest and JSON artifact in this repo is contractually
+    byte-identical across runs (the sweep cache, the CI artifact diffs,
+    the explorer's canonical keys all depend on it).  Two AST patterns
+    silently break that: ordering by object identity (``key=id`` —
+    addresses vary run to run), flagged anywhere; and iterating an
+    unordered ``set``/``frozenset`` expression directly (not wrapped in
+    ``sorted``) inside a function whose name marks it as an output path
+    (``to_json`` / ``render`` / ``format`` / ``report`` / ``digest`` /
+    ``emit`` / ``encode`` / ``serial`` / ``artifact`` / ``key``).
 """
 
 from __future__ import annotations
@@ -62,6 +72,8 @@ LINT_RULES: Dict[str, str] = {
     "RL004": "RunRequest/cache-key code must not read wall-clock time",
     "RL005": "function-local imports require a lint-ok marker with a reason",
     "RL006": "# hot-path functions must not allocate per access",
+    "RL007": "output/report paths must not order by id() or iterate "
+             "unordered sets",
 }
 
 #: Exception classes whose raise sites must stamp ``cause=`` (RL001).
@@ -365,6 +377,66 @@ def _allocation_kind(node: ast.AST) -> Optional[str]:
     return None
 
 
+#: Function names that mark an output path (RL007): anything that
+#: renders, serializes, digests or keys data for a report or artifact.
+_OUTPUT_SCOPE = re.compile(
+    r"to_json|render|format|report|digest|emit|encode|serial|artifact|key",
+    re.IGNORECASE)
+
+#: Builtins whose ``key=id`` ordering RL007 flags.
+_ORDERING_CALLS = {"sorted", "min", "max", "sort"}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Syntactically certain to evaluate to an unordered set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _rl007_determinism(tree: ast.AST, rel: str,
+                       lines: Sequence[str]) -> Iterable[Finding]:
+    # id()-based ordering: nondeterministic across runs, anywhere.
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name not in _ORDERING_CALLS:
+            continue
+        for kw in node.keywords:
+            if kw.arg == "key" and isinstance(kw.value, ast.Name) \
+                    and kw.value.id == "id":
+                yield Finding(
+                    "RL007", SEVERITY_ERROR, f"{rel}:{node.lineno}",
+                    f"{name}(..., key=id) orders by object identity",
+                    "id() values vary run to run; order by a stable "
+                    "attribute instead")
+    # Unordered-set iteration inside output-path functions.
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _OUTPUT_SCOPE.search(node.name):
+            continue
+        iters = []
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.For, ast.AsyncFor)):
+                iters.append(sub.iter)
+            elif isinstance(sub, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                  ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in sub.generators)
+        for target in iters:
+            if _is_set_expr(target):
+                yield Finding(
+                    "RL007", SEVERITY_ERROR, f"{rel}:{target.lineno}",
+                    f"unordered set iterated in output path {node.name}",
+                    "set iteration order is not stable across runs; wrap "
+                    "in sorted(...) so the report stays byte-identical, "
+                    "or add '# lint-ok: RL007 (reason)' if the order is "
+                    "provably folded away")
+
+
 _RULE_CHECKS = (
     _rl001_cause_stamping,
     _rl002_protocol_purity,
@@ -372,6 +444,7 @@ _RULE_CHECKS = (
     _rl004_wallclock,
     _rl005_local_imports,
     _rl006_hot_path_allocation,
+    _rl007_determinism,
 )
 
 

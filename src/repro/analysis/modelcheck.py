@@ -57,7 +57,7 @@ the transition taken, and expected-vs-got.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..coherence import protocol as _protocol_module
 from ..coherence.protocol import WriteOutcome
@@ -68,6 +68,9 @@ from .findings import SEVERITY_ERROR, Finding, PassReport
 #: Cap on reported counterexamples per rule (every violation is *counted*;
 #: only the first few are materialised as findings).
 MAX_FINDINGS_PER_RULE = 5
+
+#: Schema tag of the structured counterexample attached to each finding.
+COUNTEREXAMPLE_SCHEMA = "hmtx-modelcheck-counterex/1"
 
 #: Longest superseded-version chain enumerated for MC002.  Chains are
 #: built from strictly increasing write VIDs, so length 3 plus the
@@ -145,12 +148,18 @@ class _Collector:
         self.findings: List[Finding] = []
         self.violations = 0
 
-    def emit(self, rule: str, where: str, message: str, detail: str) -> None:
+    def emit(self, rule: str, where: str, message: str, detail: str,
+             counterexample: Optional[Dict[str, Any]] = None) -> None:
         self.violations += 1
         per_rule = sum(1 for f in self.findings if f.rule == rule)
         if per_rule < MAX_FINDINGS_PER_RULE:
+            if counterexample is not None:
+                counterexample = dict(counterexample)
+                counterexample.setdefault("schema", COUNTEREXAMPLE_SCHEMA)
+                counterexample.setdefault("rule", rule)
             self.findings.append(Finding(rule, SEVERITY_ERROR, where,
-                                         message, detail))
+                                         message, detail,
+                                         counterexample=counterexample))
 
 
 def _tuple_repr(state: State, m: int, h: int,
@@ -159,6 +168,17 @@ def _tuple_repr(state: State, m: int, h: int,
     if a is not None:
         text += f", reqVID={a}"
     return text + ")"
+
+
+def _tuple_doc(state: State, m: int, h: int, a: Optional[int] = None,
+               **extra: Any) -> Dict[str, Any]:
+    """The exact input tuple as a machine-readable counterexample."""
+    doc: Dict[str, Any] = {"state": state.value, "mod_vid": m,
+                           "high_vid": h}
+    if a is not None:
+        doc["request_vid"] = a
+    doc.update(extra)
+    return doc
 
 
 def check_protocol(vid_bits: int = DEFAULT_VID_BITS,
@@ -215,7 +235,8 @@ def check_protocol(vid_bits: int = DEFAULT_VID_BITS,
                             "lazy commit fold diverges from one-shot commit",
                             f"commit_transition folded up to {c} gives "
                             f"{stepped}, one-shot commit({c}) gives "
-                            f"{one_shot}")
+                            f"{one_shot}",
+                            _tuple_doc(state, m, h, commit_vid=c))
                         break
                     prev = one_shot
 
@@ -230,7 +251,8 @@ def check_protocol(vid_bits: int = DEFAULT_VID_BITS,
                         out.emit(
                             "MC007", where_v,
                             "speculative state survives an abort",
-                            f"abort after commit({c}) left {aborted}")
+                            f"abort after commit({c}) left {aborted}",
+                            _tuple_doc(state, m, h, commit_vid=c))
                     again = abort_transition(aborted[0], aborted[1][0],
                                              aborted[1][1])
                     if again != aborted:
@@ -238,7 +260,8 @@ def check_protocol(vid_bits: int = DEFAULT_VID_BITS,
                             "MC007", where_v,
                             "abort is not idempotent",
                             f"abort(abort(v)) = {again} != abort(v) = "
-                            f"{aborted} (after commit({c}))")
+                            f"{aborted} (after commit({c}))",
+                            _tuple_doc(state, m, h, commit_vid=c))
 
                 # ---- MC008: VID-reset scrub.
                 if state.speculative:
@@ -251,7 +274,8 @@ def check_protocol(vid_bits: int = DEFAULT_VID_BITS,
                             "MC008", where_v,
                             "VID reset does not scrub the version",
                             f"reset_transition gave {got}, the 4.6 scrub "
-                            f"requires ({expect}, (0, 0))")
+                            f"requires ({expect}, (0, 0))",
+                            _tuple_doc(state, m, h))
 
                 # ---- The request-VID dimension.
                 for a in vids:
@@ -266,7 +290,8 @@ def check_protocol(vid_bits: int = DEFAULT_VID_BITS,
                             "version_hits disagrees with the section 4.1 "
                             "window spec",
                             f"version_hits={hits}, spec="
-                            f"{_spec_hits(state, m, h, a)}")
+                            f"{_spec_hits(state, m, h, a)}",
+                            _tuple_doc(state, m, h, a))
                         continue
                     if not hits:
                         continue
@@ -281,7 +306,8 @@ def check_protocol(vid_bits: int = DEFAULT_VID_BITS,
                             "MC003", where,
                             "write_outcome violates the dependence rules",
                             f"write_outcome={outcome.value}, dependence "
-                            f"analysis requires {expected.value}")
+                            f"analysis requires {expected.value}",
+                            _tuple_doc(state, m, h, a))
                         continue
 
                     # MC004: the copy-creating write preserves the
@@ -299,7 +325,8 @@ def check_protocol(vid_bits: int = DEFAULT_VID_BITS,
                                 f"got old={plan.old_state.value}"
                                 f"{plan.old_vids} new=S-M{plan.new_vids}; "
                                 f"expected old=S-O({src_m},{a}) "
-                                f"new=S-M({a},{a})")
+                                f"new=S-M({a},{a})",
+                                _tuple_doc(state, m, h, a))
                         else:
                             for q in {0, max(0, src_m - 1), src_m,
                                       max(0, a - 1), a, max_vid}:
@@ -313,7 +340,9 @@ def check_protocol(vid_bits: int = DEFAULT_VID_BITS,
                                         "a request VID",
                                         f"reqVID {q}: hit {before} before "
                                         f"the write, {after} version(s) "
-                                        f"after")
+                                        f"after",
+                                        _tuple_doc(state, m, h, a,
+                                                   probe_vid=q))
 
                     # MC005: read effects (speculative reads carry a >= 1).
                     if a >= 1:
@@ -335,7 +364,8 @@ def check_protocol(vid_bits: int = DEFAULT_VID_BITS,
                                 "MC005", where,
                                 "read transition corrupts the version",
                                 f"read_transition gave {rt}, expected "
-                                f"{want}")
+                                f"{want}",
+                                _tuple_doc(state, m, h, a))
 
     # ---- MC002: version-chain partitioning.  A chain is the backup
     # S-O(0,b1), superseded copies S-O(b_i, b_{i+1}), and the latest
@@ -366,7 +396,9 @@ def check_protocol(vid_bits: int = DEFAULT_VID_BITS,
                             f"{s.value}({m},{h})" for s, m, h in versions),
                         f"request VID {q} hits {len(serving)} versions "
                         "(must be exactly 1)",
-                        f"serving: {[f'{s.value}({m},{h})' for s, m, h in serving]}")
+                        f"serving: {[f'{s.value}({m},{h})' for s, m, h in serving]}",
+                        {"chain": [[s.value, m, h] for s, m, h in versions],
+                         "request_vid": q})
             if out.violations > 10_000:  # runaway mutant; coverage is moot
                 break
         if out.violations > 10_000:
@@ -458,7 +490,9 @@ def check_topology_structure(hierarchy_factory=None,
                 message = str(exc) or "structural invariant violated"
                 out.emit(classify(message), where,
                          "sliced-LLC structural invariant violated",
-                         message)
+                         message,
+                         {"where": where, "phase": "recheck",
+                          "assertion": message, "step": steps})
 
     def drive(op, where: str) -> bool:
         # A corrupted machine may trip an internal assertion mid-op (a
@@ -473,7 +507,9 @@ def check_topology_structure(hierarchy_factory=None,
             message = str(exc) or "operation tripped internal assertion"
             out.emit(classify(message), where,
                      "access on the sliced machine tripped an internal "
-                     "assertion", message)
+                     "assertion", message,
+                     {"where": where, "phase": "drive",
+                      "assertion": message, "step": steps})
             return False
 
     addrs = [i * line_size for i in range(lines)]

@@ -1,0 +1,80 @@
+"""Property: VID-renaming canonicalization is a true quotient.
+
+The explorer renames VIDs by rank (an order-isomorphism), so a run whose
+VID assignment differs only by a renaming — here, a shifted ``vid_start``
+— must explore the *identical* canonical state set, leaf for leaf,
+violation for violation.  The property is checked both on the shipped
+presets and on hypothesis-generated scenarios, and a no-reduce control
+shows the quotient is doing real work (raw encodings of shifted runs
+differ).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.explore import EXPLORE_PRESETS, Explorer, Scenario
+
+_A, _B = 0x000, 0x040
+
+
+def explore(scenario, shape="flat", reduce=True):
+    explorer = Explorer(scenario, shape, reduce=reduce, max_states=4000)
+    violations = explorer.run()
+    assert explorer.exhausted
+    return explorer, violations
+
+
+def renamed(scenario, k):
+    return Scenario(
+        name=scenario.name, threads=scenario.threads, addrs=scenario.addrs,
+        vid_bits=scenario.vid_bits, max_attempts=scenario.max_attempts,
+        vid_start=scenario.vid_start + k)
+
+
+@settings(max_examples=8, deadline=None)
+@given(k=st.integers(min_value=1, max_value=4),
+       preset=st.sampled_from(sorted(EXPLORE_PRESETS)))
+def test_vid_start_shift_explores_identical_canonical_set(k, preset):
+    base = EXPLORE_PRESETS[preset]
+    a, va = explore(base)
+    b, vb = explore(renamed(base, k))
+    assert a.visited == b.visited
+    assert a.states == b.states and a.leaves == b.leaves
+    assert va == vb
+
+
+_OPS = st.one_of(
+    st.tuples(st.just("load"), st.sampled_from((_A, _B))),
+    st.tuples(st.just("store"), st.sampled_from((_A, _B)),
+              st.integers(min_value=1, max_value=3)))
+_PROGRAM = st.lists(_OPS, min_size=1, max_size=2).map(tuple)
+
+
+@settings(max_examples=15, deadline=None)
+@given(threads=st.lists(_PROGRAM, min_size=2, max_size=2).map(tuple),
+       k=st.integers(min_value=1, max_value=3))
+def test_quotient_holds_on_generated_scenarios(threads, k):
+    base = Scenario(name="gen", threads=threads, addrs=(_A, _B))
+    a, va = explore(base)
+    b, vb = explore(renamed(base, k))
+    assert a.visited == b.visited
+    assert [v["rule"] for v in va] == [v["rule"] for v in vb]
+
+
+def test_no_reduce_control_distinguishes_shifted_runs():
+    # Without the rank renaming the shifted run hashes differently —
+    # the quotient above is not vacuous.
+    base = EXPLORE_PRESETS["small"]
+    a, _ = explore(base, reduce=False)
+    b, _ = explore(renamed(base, 3), reduce=False)
+    assert a.visited != b.visited
+
+
+def test_2socket_mirror_membership_is_schedule_order_invariant():
+    # The mirror automorphism folds role-swapped schedules together:
+    # on the symmetric preset the canonical sets of the mirrored machine
+    # must dedup below the flat machine's (checked exactly in
+    # test_explore.py); here pin that the quotient stays exhaustive.
+    explorer, violations = explore(EXPLORE_PRESETS["small"], "2socket")
+    assert violations == []
+    assert explorer.exhausted

@@ -1,0 +1,44 @@
+"""Committed counterexample artifacts replay to their recorded failure.
+
+The survivor-replay pattern: every JSON artifact under
+``tests/analysis/counterexamples/`` is a minimized schedule the explorer
+once caught; replaying it through the *current* machine must still
+trigger the recorded rule, so protocol regressions that resurrect an old
+bug fail here with the exact schedule that exposes them.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.explore import (COUNTEREXAMPLE_SCHEMA,
+                                    replay_counterexample)
+
+ARTIFACT_DIR = Path(__file__).parent / "counterexamples"
+ARTIFACTS = sorted(ARTIFACT_DIR.glob("*.json"))
+
+
+def load(path):
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_corpus_exists_and_covers_every_rule():
+    assert ARTIFACTS, f"no artifacts under {ARTIFACT_DIR}"
+    rules = {load(p)["rule"] for p in ARTIFACTS}
+    assert rules == {"EX001", "EX002", "EX003", "EX004"}
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
+def test_artifact_replays_to_recorded_failure(path):
+    doc = load(path)
+    assert doc["schema"] == COUNTEREXAMPLE_SCHEMA
+    violated = replay_counterexample(doc)
+    assert doc["rule"] in violated, (
+        f"{path.name}: schedule {doc['schedule']} no longer triggers "
+        f"{doc['rule']} (got {violated})")
+
+
+def test_wrong_schema_is_rejected():
+    with pytest.raises(ValueError):
+        replay_counterexample({"schema": "bogus/1"})

@@ -255,5 +255,62 @@ class TestWholeTree:
 
     def test_rule_catalog_is_documented(self):
         assert set(LINT_RULES) == {"RL001", "RL002", "RL003", "RL004",
-                                   "RL005", "RL006"}
+                                   "RL005", "RL006", "RL007"}
         assert default_lint_root().name == "repro"
+
+class TestDeterminism:
+    def test_key_id_ordering_is_rl007_anywhere(self):
+        findings = lint("""
+            def helper(nodes):
+                return sorted(nodes, key=id)
+            """)
+        assert rules_of(findings) == ["RL007"]
+
+    def test_sort_method_with_key_id_is_rl007(self):
+        findings = lint("""
+            def helper(nodes):
+                nodes.sort(key=id)
+            """)
+        assert rules_of(findings) == ["RL007"]
+
+    def test_set_iteration_in_output_function_is_rl007(self):
+        findings = lint("""
+            def to_json(items):
+                return [x for x in {i.name for i in items}]
+            """)
+        assert rules_of(findings) == ["RL007"]
+
+    def test_set_call_iterated_in_for_loop_is_rl007(self):
+        findings = lint("""
+            def render_report(rows):
+                out = []
+                for row in set(rows):
+                    out.append(row)
+                return out
+            """)
+        assert rules_of(findings) == ["RL007"]
+
+    def test_sorted_set_in_output_function_is_clean(self):
+        assert lint("""
+            def to_json(items):
+                return [x for x in sorted(set(items))]
+            """) == []
+
+    def test_set_iteration_outside_output_paths_is_not_policed(self):
+        assert lint("""
+            def accumulate(items):
+                return sum(x for x in set(items))
+            """) == []
+
+    def test_stable_key_function_is_clean(self):
+        assert lint("""
+            def helper(nodes):
+                return sorted(nodes, key=lambda n: n.name)
+            """) == []
+
+    def test_marker_with_reason_suppresses_rl007(self):
+        assert lint("""
+            def digest(items):
+                # lint-ok: RL007 (order folds into a commutative xor)
+                return [x for x in set(items)]
+            """) == []

@@ -124,3 +124,61 @@ class TestMutationsAreCaught:
         mc001 = [f for f in report.findings if f.rule == "MC001"]
         assert len(mc001) <= 5
         assert report.coverage["violations"] > len(mc001)
+
+class TestStructuredCounterexamples:
+    """MC findings carry the exact input tuple machine-readably."""
+
+    def _mutant_report(self):
+        mutant = _real_protocol_namespace()
+
+        def bad_hits(state, m, h, a):
+            if state in (State.SO, State.SS):
+                return m <= a <= h
+            return protocol.version_hits(state, m, h, a)
+
+        mutant.version_hits = bad_hits
+        return check_protocol(vid_bits=4, protocol=mutant)
+
+    def test_mc001_counterexample_is_the_input_tuple(self):
+        report = self._mutant_report()
+        finding = next(f for f in report.findings if f.rule == "MC001")
+        doc = finding.counterexample
+        assert doc is not None
+        assert doc["schema"] == "hmtx-modelcheck-counterex/1"
+        assert doc["rule"] == "MC001"
+        # The tuple replays: the spec and the mutant disagree on it.
+        state = State(doc["state"])
+        m, h, a = doc["mod_vid"], doc["high_vid"], doc["request_vid"]
+        assert state in (State.SO, State.SS) and a == h  # the off-by-one
+
+    def test_counterexample_lands_in_json_only_when_present(self):
+        clean = check_protocol(vid_bits=4)
+        assert clean.ok
+        assert all("counterexample" not in f.to_json()
+                   for f in clean.findings)
+        broken = self._mutant_report()
+        jsons = [f.to_json() for f in broken.findings]
+        assert any("counterexample" in j for j in jsons)
+
+    def test_structure_pass_findings_carry_counterexamples(self):
+        from repro.coherence.directory import DirectoryConfig, DirectoryHierarchy
+        from repro.topology import TopologySpec
+        from repro.analysis.modelcheck import check_topology_structure
+
+        class BrokenHome(DirectoryHierarchy):
+            def _home_llc(self, addr):
+                good = super()._home_llc(addr)
+                index = self.llc_slices.index(good)
+                return self.llc_slices[(index + 1) % len(self.llc_slices)]
+
+        def factory():
+            return BrokenHome(DirectoryConfig(
+                num_cores=8, l1_size=16 * 64, l1_assoc=2,
+                topology=TopologySpec(sockets=2, cores_per_socket=4)))
+
+        report = check_topology_structure(hierarchy_factory=factory)
+        assert not report.ok
+        docs = [f.counterexample for f in report.findings]
+        assert all(d is not None and d["schema"]
+                   == "hmtx-modelcheck-counterex/1" for d in docs)
+        assert all("assertion" in d and "step" in d for d in docs)
