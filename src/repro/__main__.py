@@ -122,10 +122,10 @@ def _cmd_all(args) -> int:
     scale = _QUICK_SCALE if args.quick else args.scale
     runner = BenchmarkRunner(scale=scale, jobs=args.jobs)
     names = sorted(_ARTIFACTS)
-    start = time.perf_counter()
+    start = time.perf_counter()  # lint-ok: RL008 (wall time is printed and routed to --bench-output only, never into the deterministic report)
     _prefetch(runner, names)
     artifacts = {name: _ARTIFACTS[name](runner) for name in names}
-    wall = time.perf_counter() - start
+    wall = time.perf_counter() - start  # lint-ok: RL008 (same print-only timing as above)
     report = {
         "schema": "hmtx-sweep-report/1",
         "scale": scale,

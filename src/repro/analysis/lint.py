@@ -53,6 +53,13 @@ Rule catalog (details in DESIGN.md section 10):
     ``sorted``) inside a function whose name marks it as an output path
     (``to_json`` / ``render`` / ``format`` / ``report`` / ``digest`` /
     ``emit`` / ``encode`` / ``serial`` / ``artifact`` / ``key``).
+``RL008`` no wall-clock reads in artifact-writing functions
+    A function that writes a report artifact (``write_text``, a ``dump``
+    call, or ``open(..., "w")``) must not also read wall-clock time —
+    that is how a timestamp sneaks into an artifact and breaks the
+    byte-identity contract (``obs diff`` on two identical runs must be
+    exactly zero).  Timing that is only *printed* (never written) is the
+    legitimate exception and carries a ``lint-ok`` marker saying so.
 """
 
 from __future__ import annotations
@@ -74,6 +81,7 @@ LINT_RULES: Dict[str, str] = {
     "RL006": "# hot-path functions must not allocate per access",
     "RL007": "output/report paths must not order by id() or iterate "
              "unordered sets",
+    "RL008": "artifact-writing functions must not read wall-clock time",
 }
 
 #: Exception classes whose raise sites must stamp ``cause=`` (RL001).
@@ -437,6 +445,55 @@ def _rl007_determinism(tree: ast.AST, rel: str,
                     "provably folded away")
 
 
+#: Calls that mark a function as writing a report artifact (RL008).
+_ARTIFACT_WRITE_CALLS = {"write_text", "dump"}
+
+
+def _writes_artifact(func: ast.AST) -> bool:
+    """True when the function body contains an artifact-write call."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name in _ARTIFACT_WRITE_CALLS:
+            return True
+        # open(..., "w"/"wb"/...) — positional or keyword mode.
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            modes = [a for a in node.args[1:2]]
+            modes += [kw.value for kw in node.keywords
+                      if kw.arg == "mode"]
+            for mode in modes:
+                if isinstance(mode, ast.Constant) and \
+                        isinstance(mode.value, str) and "w" in mode.value:
+                    return True
+    return False
+
+
+def _rl008_artifact_wallclock(tree: ast.AST, rel: str,
+                              lines: Sequence[str]) -> Iterable[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _writes_artifact(node):
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and \
+                    isinstance(sub.func, ast.Attribute) and \
+                    isinstance(sub.func.value, ast.Name) and \
+                    sub.func.value.id in _WALLCLOCK_MODULES and \
+                    sub.func.attr in _WALLCLOCK_CALLS:
+                yield Finding(
+                    "RL008", SEVERITY_ERROR, f"{rel}:{sub.lineno}",
+                    f"wall-clock call {sub.func.value.id}."
+                    f"{sub.func.attr}() inside artifact-writing "
+                    f"function {node.name}",
+                    "report artifacts are contractually byte-identical "
+                    "across runs (obs diff of two identical runs must be "
+                    "zero); keep timing out of written payloads, or add "
+                    "'# lint-ok: RL008 (reason)' stating the reading is "
+                    "print-only")
+
+
 _RULE_CHECKS = (
     _rl001_cause_stamping,
     _rl002_protocol_purity,
@@ -445,6 +502,7 @@ _RULE_CHECKS = (
     _rl005_local_imports,
     _rl006_hot_path_allocation,
     _rl007_determinism,
+    _rl008_artifact_wallclock,
 )
 
 

@@ -61,6 +61,13 @@ class HMTXSystem:
         #: and can no longer cause a false abort, so leaving it behind
         #: would misattribute a genuine later conflict on the same line.
         self._wrong_path_marks: Dict[int, int] = {}
+        #: Scheduler-installed machine-quiesce hook (section 4.6: the
+        #: reset scrub is a *global* barrier — every core must drain and
+        #: acknowledge before any thread proceeds).  ``None`` until a
+        #: :class:`~repro.runtime.scheduler.Scheduler` attaches; direct
+        #: protocol-level users (the model checker, unit tests) pay the
+        #: latency on the calling thread instead.
+        self.quiesce_cb: Optional[Callable[[int], None]] = None
 
     # ------------------------------------------------------------------
     # Thread management
@@ -109,7 +116,16 @@ class HMTXSystem:
         return self.vid_space.exhausted() and not self.active_vids
 
     def vid_reset(self) -> int:
-        """Recycle the VID space; returns the broadcast latency."""
+        """Recycle the VID space; returns the broadcast latency.
+
+        On a multi-socket machine with a scheduler attached, the scrub
+        stalls *every* thread through :attr:`quiesce_cb` (the barrier of
+        section 4.6 — no core may issue speculative accesses while VID
+        tags are being cleared across the sliced LLC) and the resetting
+        thread is charged only a 1-cycle issue slot, so the cost is not
+        double-counted.  Flat machines keep the original model: the
+        broadcast latency lands on the caller alone.
+        """
         if self.active_vids:
             raise TransactionUsageError(
                 f"VID reset with live transactions: {sorted(self.active_vids)}")
@@ -117,6 +133,11 @@ class HMTXSystem:
         self.vid_space.reset()
         self.last_committed = 0
         self.stats.vid_resets += 1
+        topo = self.config.topology
+        if (self.quiesce_cb is not None and topo is not None
+                and topo.sockets > 1):
+            self.quiesce_cb(latency)
+            return 1
         return latency
 
     # ------------------------------------------------------------------

@@ -92,9 +92,9 @@ def _best_of(engine: SweepEngine, request: RunRequest,
 
 
 def run_bench(quick: bool = False, repeat: int = 1,
-              jobs: int = 1) -> Dict:
+              jobs: int = 1, engine: Optional[SweepEngine] = None) -> Dict:
     """Run the suite and return one mode section of the report."""
-    engine = SweepEngine(jobs=jobs)
+    engine = engine or SweepEngine(jobs=jobs)
     workloads: Dict[str, Dict] = {}
     for request in bench_spec(quick).requests:
         wall, record = _best_of(engine, request, repeat)
@@ -234,6 +234,12 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed fractional ops/sec regression "
                              f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--history", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="after timing, rerun the suite observed and "
+                             "append the obs digests to the cross-run "
+                             "history store (default dir .obs-history "
+                             "when no DIR given)")
     parser.add_argument("--profile", action="store_true",
                         help="print a snoop/scrub/lazy-fold/scheduler phase "
                              "breakdown of wall time; the (wrapper-inflated) "
@@ -257,8 +263,22 @@ def main(argv=None) -> int:
         print("(profiled walls are wrapper-inflated; report not written)")
         return 0
 
+    engine = SweepEngine(jobs=args.jobs)
     section = run_bench(quick=args.quick, repeat=args.repeat,
-                        jobs=args.jobs)
+                        jobs=args.jobs, engine=engine)
+    history_note = None
+    if args.history is not None:
+        # Observed runs happen *after* every timed one, so attaching the
+        # profiler cannot perturb the wall numbers above.
+        from ..obs.history import DEFAULT_ROOT, HistoryStore  # lint-ok: RL005 (history is opt-in; keeps the obs store off the timing path)
+        observed = [replace(r, observe=True)
+                    for r in bench_spec(args.quick).requests]
+        engine.run(observed)
+        store = HistoryStore(args.history or DEFAULT_ROOT)
+        appended = store.append_runs(engine.observed_pairs, source="bench")
+        history_note = (f"history: generation {appended['generation']} at "
+                        f"{store.root} ({appended['runs']} run(s), "
+                        f"{appended['new_digests']} new digest(s))")
     output = pathlib.Path(args.output)
     baseline = pathlib.Path(args.baseline) if args.baseline else output
     ok, message = (True, "")
@@ -268,6 +288,8 @@ def main(argv=None) -> int:
     write_report(section, output)
     print(format_bench(section))
     print(f"wrote {output}")
+    if history_note:
+        print(history_note)
     if args.check:
         print(message)
     return 0 if ok else 1

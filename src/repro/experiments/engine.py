@@ -363,6 +363,11 @@ class SweepEngine:
         #: attribution without any driver changes (or reruns, via cache).
         self.observe = observe
         self._cache: Dict[Tuple, RunRecord] = {}
+        #: Freshly *executed* observed runs, in execution order — the
+        #: hand-off :class:`repro.obs.history.HistoryStore.append_runs`
+        #: consumes.  Cache hits are not re-appended, so a driver that
+        #: re-reads a record does not duplicate history lines.
+        self.observed_pairs: List[Tuple[RunRequest, RunRecord]] = []
         #: Upper bound on pool workers.  More processes than CPUs cannot
         #: run concurrently — they only add spawn and timeslice overhead
         #: (the old BENCH_sweep honesty gap: ``--jobs 4`` on a 1-CPU host
@@ -395,6 +400,8 @@ class SweepEngine:
                 records = [execute_request(r) for r in todo]
             for request, record in zip(todo, records):
                 self._cache[request.key()] = record
+                if record.obs_digest is not None:
+                    self.observed_pairs.append((request, record))
         return [self._cache[r.key()] for r in requests]
 
     def _run_pool(self, todo: List[RunRequest]) -> List[RunRecord]:

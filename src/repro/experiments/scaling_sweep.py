@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import MachineConfig
+from ..obs.profile import load_digest
 from ..topology import TOPOLOGY_PRESETS, TopologySpec
 from .engine import RunRecord, RunRequest, SweepEngine, SweepSpec
 from .reporting import format_table
@@ -47,6 +48,10 @@ SCALING_WORKLOADS = ("130.li", "164.gzip", "svc-kv")
 #: per-socket banks, and the placement policies.
 QUICK_PRESETS: Dict[str, TopologySpec] = {
     "2s8c": TopologySpec(sockets=2, cores_per_socket=4),
+    # A 4-socket sibling at the same per-job cost class, so the what-if
+    # profiler can contrast knob sensitivities across socket counts
+    # without paying for the 128-core presets.
+    "4s16c": TopologySpec(sockets=4, cores_per_socket=4),
 }
 
 QUICK_WORKLOADS = ("130.li", "svc-kv")
@@ -123,9 +128,11 @@ class ScalingResult:
 
 
 def _socket_cycles(record: RunRecord, category: str) -> Dict[str, int]:
-    digest = record.obs_digest or {}
-    return {socket: cats.get(category, 0)
-            for socket, cats in sorted(digest.get("per_socket", {}).items())}
+    if record.obs_digest is None:
+        return {}
+    per_socket = load_digest(record.obs_digest)["per_socket"]
+    return {str(socket): cats.get(category, 0)
+            for socket, cats in sorted(per_socket.items())}
 
 
 def run_scaling(scale: float = 1.0,
@@ -278,6 +285,11 @@ def main(argv=None) -> int:
                              "multi-socket preset under hmtx")
     parser.add_argument("--output", default=_DEFAULT_OUTPUT,
                         help=f"report file (default {_DEFAULT_OUTPUT})")
+    parser.add_argument("--history", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="append the sweep's obs digests to the "
+                             "cross-run history store (default dir "
+                             ".obs-history when no DIR given)")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -296,7 +308,7 @@ def main(argv=None) -> int:
         else SCALING_SYSTEMS
 
     engine = SweepEngine(jobs=args.jobs)
-    start = time.perf_counter()
+    start = time.perf_counter()  # lint-ok: RL008 (terminal progress line only; never enters the report)
     result = run_scaling(scale=scale, presets=presets, systems=systems,
                          workloads=workloads, placement=args.placement,
                          jobs=args.jobs, engine=engine)
@@ -323,7 +335,16 @@ def main(argv=None) -> int:
                   f"semantics: {args.survivor}", file=sys.stderr)
             return 1
 
-    wall = time.perf_counter() - start
+    if args.history is not None:
+        from ..obs.history import DEFAULT_ROOT, HistoryStore  # lint-ok: RL005 (history is opt-in; keeps the obs store out of default sweeps)
+        store = HistoryStore(args.history or DEFAULT_ROOT)
+        appended = store.append_runs(engine.observed_pairs,
+                                     source="scaling")
+        print(f"history: generation {appended['generation']} at "
+              f"{store.root} ({appended['runs']} run(s), "
+              f"{appended['new_digests']} new digest(s))")
+
+    wall = time.perf_counter() - start  # lint-ok: RL008 (wall time is printed to the terminal only; the report written below is cycle-pure)
     output = pathlib.Path(args.output)
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(format_scaling(result))

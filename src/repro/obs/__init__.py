@@ -12,6 +12,11 @@ Three coordinated layers over one recorded run:
 exported via :mod:`repro.obs.export` as Chrome trace-event JSON or a
 terminal Gantt, and surfaced as ``python -m repro obs``.
 
+On top of the per-run digest sits the **regression observatory**:
+:mod:`repro.obs.history` (cross-run content-addressed digest store),
+:mod:`repro.obs.diff` (differential attribution — ``obs diff A B``),
+and :mod:`repro.obs.whatif` (causal knob-sensitivity profiling).
+
 This ``__init__`` stays import-light (PEP 562 lazy attributes): the hot
 path (``runtime.paradigms.base``) imports ``repro.obs.hooks`` at module
 load, and pulling the whole stack in with it would tax every
@@ -27,6 +32,13 @@ _LAZY = {
     "MetricsRegistry": ("registry", "MetricsRegistry"),
     "attribute": ("profile", "attribute"),
     "digest": ("profile", "digest"),
+    "load_digest": ("profile", "load_digest"),
+    "HistoryStore": ("history", "HistoryStore"),
+    "git_describe": ("history", "git_describe"),
+    "diff_digest": ("diff", "diff_digest"),
+    "diff_bundles": ("diff", "diff_bundles"),
+    "format_diff": ("diff", "format_diff"),
+    "run_whatif": ("whatif", "run_whatif"),
     "build_timeline": ("timeline", "build_timeline"),
     "TxSpan": ("timeline", "TxSpan"),
     "Timeline": ("timeline", "Timeline"),

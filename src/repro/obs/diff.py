@@ -1,0 +1,301 @@
+"""Differential digest attribution: *why* did the number move?
+
+``python -m repro obs diff A B`` takes two digest sources — committed
+JSON artifacts, digest bundles, or :mod:`repro.obs.history` refs like
+``HEAD~1`` — pairs their runs by (workload, system, scale), and explains
+each pair's makespan delta hierarchically:
+
+1. **phase** — which cycle categories (useful / commit_stall /
+   vid_reset / abort_replay / queue_wait / overflow / idle) absorbed the
+   delta, each with its share of the total moved cycles;
+2. **socket** — where a moved phase landed on a multi-socket machine
+   (the reset-storm fingerprint: ``vid_reset`` growing on the sockets
+   far from the committing one);
+3. **cause and churn** — abort-cause count deltas, VID-reset count
+   deltas, and hot-conflict-line churn (lines entering/leaving the
+   top-N table).
+
+The artifact (schema ``hmtx-obs-diff/1``) is a pure function of its two
+inputs: keys sorted, no wall clock, byte-identical however the inputs
+were produced (``--jobs 1`` vs ``--jobs N`` digests are already
+identical by the sweep-engine contract).  ``diff_digest(d, d)`` is
+exactly zero in every field — the CI ``obsdiff-smoke`` job asserts it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .history import BUNDLE_SCHEMA, HistoryStore, bundle
+from .profile import DIGEST_SCHEMA, load_digest
+
+DIFF_SCHEMA = "hmtx-obs-diff/1"
+
+#: Source-file schemas the loader understands, besides history refs.
+_REPORT_SCHEMA = "hmtx-obs-report/1"
+_SWEEP_SCHEMA = "hmtx-sweep-report/1"
+
+
+# ----------------------------------------------------------------------
+# One-pair diff
+# ----------------------------------------------------------------------
+
+def _delta(before: int, after: int) -> Dict[str, int]:
+    return {"before": before, "after": after, "delta": after - before}
+
+
+def diff_digest(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    """Hierarchical delta between two ``hmtx-obs-digest/1`` payloads."""
+    a = load_digest(a)
+    b = load_digest(b)
+    phases = {}
+    for category in sorted(set(a["categories"]) | set(b["categories"])):
+        phases[category] = _delta(a["categories"].get(category, 0),
+                                  b["categories"].get(category, 0))
+    moved = sum(entry["delta"] for entry in phases.values())
+    per_socket: Dict[int, Dict[str, int]] = {}
+    for socket in sorted(set(a["per_socket"]) | set(b["per_socket"])):
+        before = a["per_socket"].get(socket, {})
+        after = b["per_socket"].get(socket, {})
+        deltas = {category: after.get(category, 0) - before.get(category, 0)
+                  for category in sorted(set(before) | set(after))}
+        per_socket[socket] = {category: delta
+                              for category, delta in deltas.items() if delta}
+    attribution = []
+    for category, entry in sorted(phases.items(),
+                                  key=lambda kv: (-abs(kv[1]["delta"]),
+                                                  kv[0])):
+        if entry["delta"] == 0:
+            continue
+        item: Dict[str, Any] = {
+            "phase": category,
+            "delta": entry["delta"],
+            # Share of the total moved thread-cycles; shares sum to 1.0
+            # (phases moving against the total read as negative shares).
+            "share": round(entry["delta"] / moved, 4) if moved else None,
+        }
+        split = {socket: cats[category]
+                 for socket, cats in per_socket.items() if category in cats}
+        if split:
+            item["per_socket"] = {str(s): d for s, d in sorted(split.items())}
+        attribution.append(item)
+    causes = {}
+    for cause in sorted(set(a["aborts_by_cause"]) | set(b["aborts_by_cause"])):
+        entry = _delta(a["aborts_by_cause"].get(cause, 0),
+                       b["aborts_by_cause"].get(cause, 0))
+        if entry["delta"] or entry["before"] or entry["after"]:
+            causes[cause] = entry
+    result = {
+        "makespan": _delta(a["makespan"], b["makespan"]),
+        "thread_cycles": _delta(a["total_thread_cycles"],
+                                b["total_thread_cycles"]),
+        "phases": phases,
+        "attribution": attribution,
+        "per_socket": {str(s): cats for s, cats in per_socket.items()},
+        "commits": _delta(a["commits"], b["commits"]),
+        "aborts": _delta(a["aborts"], b["aborts"]),
+        "vid_resets": _delta(a["vid_resets"], b["vid_resets"]),
+        "aborts_by_cause": causes,
+        "hot_lines": _line_churn(a["hot_conflict_lines"],
+                                 b["hot_conflict_lines"]),
+    }
+    result["zero"] = (
+        result["makespan"]["delta"] == 0
+        and result["thread_cycles"]["delta"] == 0
+        and not attribution
+        and all(entry["delta"] == 0 for entry in causes.values())
+        and result["commits"]["delta"] == 0
+        and result["aborts"]["delta"] == 0
+        and result["vid_resets"]["delta"] == 0
+        and not result["hot_lines"]["entered"]
+        and not result["hot_lines"]["left"]
+        and not result["hot_lines"]["changed"])
+    return result
+
+
+def _line_churn(before: Sequence[Tuple[str, int]],
+                after: Sequence[Tuple[str, int]]) -> Dict[str, Any]:
+    """Hot-conflict-line churn between two top-N tables."""
+    before_map = dict(before)
+    after_map = dict(after)
+    return {
+        "entered": [[line, count] for line, count in after
+                    if line not in before_map],
+        "left": [[line, count] for line, count in before
+                 if line not in after_map],
+        "changed": [{"line": line, "before": before_map[line],
+                     "after": after_map[line]}
+                    for line in sorted(before_map)
+                    if line in after_map
+                    and after_map[line] != before_map[line]],
+    }
+
+
+# ----------------------------------------------------------------------
+# Source loading and pairing
+# ----------------------------------------------------------------------
+
+def _is_ref(spec: str) -> bool:
+    return spec == "HEAD" or spec.startswith(("HEAD~", "gen:", "git:"))
+
+
+def load_entries(spec: str,
+                 store: Optional[HistoryStore] = None) -> Dict[str, Any]:
+    """Resolve one CLI source into a digest bundle.
+
+    ``spec`` is a history ref (``HEAD``, ``HEAD~N``, ``gen:N``,
+    ``git:LABEL``) or a path to a JSON artifact: a bare digest, an
+    ``obs --format json`` report, a sweep report with observed records,
+    or an exported digest bundle.
+    """
+    if _is_ref(spec):
+        store = store or HistoryStore()
+        out = store.export_bundle(spec)
+        out["source"] = f"{spec} @ {store.root}"
+        return out
+    path = pathlib.Path(spec)
+    data = json.loads(path.read_text(encoding="utf-8"))
+    schema = data.get("schema")
+    if schema == BUNDLE_SCHEMA:
+        data.setdefault("source", str(path))
+        return data
+    if schema == DIGEST_SCHEMA:
+        # A bare digest has no run identity; the constant key lets two
+        # bare-digest files pair with each other regardless of filename.
+        out = bundle([({"workload": "digest", "system": "", "scale": None},
+                       data)])
+    elif schema == _REPORT_SCHEMA:
+        out = bundle([({"workload": data["workload"],
+                        "system": data["system"],
+                        "scale": data["scale"]}, data["digest"])])
+    elif schema == _SWEEP_SCHEMA:
+        out = bundle([(record, record["obs_digest"])
+                      for record in data.get("records", [])
+                      if record.get("obs_digest") is not None])
+    else:
+        raise ValueError(f"{path}: unrecognized schema {schema!r} (expected "
+                         f"{BUNDLE_SCHEMA}, {DIGEST_SCHEMA}, "
+                         f"{_REPORT_SCHEMA} or {_SWEEP_SCHEMA})")
+    out["source"] = str(path)
+    return out
+
+
+def _pair_key(entry: Dict[str, Any], machine: bool) -> Tuple:
+    key = (entry["workload"], entry["system"], str(entry.get("scale")))
+    if machine:
+        key += (entry.get("machine", "default"),)
+    return key
+
+
+def _keyed(entries: List[Dict[str, Any]],
+           machine: bool) -> Dict[Tuple, Dict[str, Any]]:
+    keyed: Dict[Tuple, Dict[str, Any]] = {}
+    for entry in entries:
+        keyed[_pair_key(entry, machine)] = entry
+    return keyed
+
+
+def diff_bundles(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    """The full ``hmtx-obs-diff/1`` artifact over two digest bundles.
+
+    Runs pair on (workload, system, scale); when either side holds
+    several machines for the same triple (a multi-preset sweep), the
+    machine digest joins the key so only like shapes compare.
+    """
+    need_machine = any(
+        len(entries) != len({_pair_key(e, False) for e in entries})
+        for entries in (a["entries"], b["entries"]))
+    a_keyed = _keyed(a["entries"], need_machine)
+    b_keyed = _keyed(b["entries"], need_machine)
+    pairs = []
+    for key in sorted(set(a_keyed) & set(b_keyed)):
+        entry_a, entry_b = a_keyed[key], b_keyed[key]
+        pairs.append({
+            "workload": entry_a["workload"],
+            "system": entry_a["system"],
+            "scale": entry_a.get("scale"),
+            "machine": [entry_a.get("machine", "default"),
+                        entry_b.get("machine", "default")],
+            "diff": diff_digest(entry_a["digest"], entry_b["digest"]),
+        })
+    only_a = sorted("/".join(str(part) for part in key)
+                    for key in set(a_keyed) - set(b_keyed))
+    only_b = sorted("/".join(str(part) for part in key)
+                    for key in set(b_keyed) - set(a_keyed))
+    return {
+        "schema": DIFF_SCHEMA,
+        "a": {"source": a.get("source", "a")},
+        "b": {"source": b.get("source", "b")},
+        "pairs": pairs,
+        "only_in_a": only_a,
+        "only_in_b": only_b,
+        "zero": (not only_a and not only_b and bool(pairs)
+                 and all(pair["diff"]["zero"] for pair in pairs)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Text report
+# ----------------------------------------------------------------------
+
+def _signed(value: int) -> str:
+    return f"{value:+,}"
+
+
+def format_diff(artifact: Dict[str, Any], top: int = 3) -> str:
+    """The pre-explained regression report, one block per pair."""
+    lines = [f"obs diff: {artifact['a']['source']}  ->  "
+             f"{artifact['b']['source']}"]
+    if not artifact["pairs"]:
+        lines.append("  (no common runs to compare)")
+    for pair in artifact["pairs"]:
+        diff = pair["diff"]
+        label = pair["workload"] + (f"/{pair['system']}"
+                                    if pair["system"] else "")
+        if diff["zero"]:
+            lines.append(f"  {label}: identical "
+                         f"(makespan {diff['makespan']['after']:,} cycles)")
+            continue
+        makespan = diff["makespan"]
+        head = (f"  {label}: makespan {_signed(makespan['delta'])} cycles "
+                f"({makespan['before']:,} -> {makespan['after']:,})")
+        reasons = []
+        for item in diff["attribution"][:top]:
+            share = (f"{item['share']:.0%}" if item["share"] is not None
+                     else _signed(item["delta"]))
+            reason = f"{share} {item['phase']}"
+            split = item.get("per_socket")
+            if split and len(split) > 1:
+                worst = max(split.items(), key=lambda kv: (abs(kv[1]),
+                                                           kv[0]))
+                reason += f" (socket {worst[0]} {_signed(worst[1])})"
+            reasons.append(reason)
+        if reasons:
+            head += ": " + ", ".join(reasons)
+        lines.append(head)
+        resets = diff["vid_resets"]
+        if resets["delta"]:
+            lines.append(f"    vid resets {resets['before']} -> "
+                         f"{resets['after']}")
+        for cause, entry in diff["aborts_by_cause"].items():
+            if entry["delta"]:
+                lines.append(f"    aborts[{cause}] {entry['before']} -> "
+                             f"{entry['after']}")
+        churn = diff["hot_lines"]
+        moved = [f"+{line}" for line, _ in churn["entered"]] \
+            + [f"-{line}" for line, _ in churn["left"]]
+        if moved:
+            lines.append(f"    hot-line churn: {', '.join(moved)}")
+    for key in artifact["only_in_a"]:
+        lines.append(f"  only in A: {key}")
+    for key in artifact["only_in_b"]:
+        lines.append(f"  only in B: {key}")
+    lines.append("  ZERO DELTA" if artifact["zero"]
+                 else "  (deltas present)")
+    return "\n".join(lines)
+
+
+def render_json(artifact: Dict[str, Any]) -> str:
+    return json.dumps(artifact, indent=2, sort_keys=True) + "\n"

@@ -112,6 +112,7 @@ def attribute(session) -> Attribution:
     per_thread: Dict[int, Dict[str, int]] = {}
     identity_ok = True
     stall_total = session.stall_cycles_total
+    quiesce_total = getattr(session, "quiesce_cycles_total", 0)
     for tid, indices in sorted(session._tid_sample_idx.items()):
         cats: Dict[str, int] = {}
         cursor = 0
@@ -123,13 +124,17 @@ def attribute(session) -> Attribution:
             cursor = max(cursor, start + latency)
             category = final[index] or "useful"
             cats[category] = cats.get(category, 0) + latency
-        # Machine-wide backoff stalls show up as gaps in every thread's op
-        # stream; reattribute up to the stalled total as abort recovery,
-        # the rest is genuine queue/core wait.
-        backoff = min(stall_total, gap_total)
+        # Machine-wide stalls show up as gaps in every thread's op stream.
+        # Reattribute them in causal order: reset-scrub quiesce barriers
+        # first (vid_reset), then contention-manager backoff
+        # (abort_replay); whatever remains is genuine queue/core wait.
+        quiesce = min(quiesce_total, gap_total)
+        if quiesce:
+            cats["vid_reset"] = cats.get("vid_reset", 0) + quiesce
+        backoff = min(stall_total, gap_total - quiesce)
         if backoff:
             cats["abort_replay"] = cats.get("abort_replay", 0) + backoff
-        queue_wait = gap_total - backoff
+        queue_wait = gap_total - quiesce - backoff
         if queue_wait:
             cats["queue_wait"] = cats.get("queue_wait", 0) + queue_wait
         idle = makespan - cursor
@@ -225,6 +230,37 @@ def digest(session, attribution: Attribution,
         # boundary (Histogram.from_cumulative).
         "histograms": session.registry.collect()["histograms"],
     }
+
+
+DIGEST_SCHEMA = "hmtx-obs-digest/1"
+
+
+def load_digest(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize a (possibly JSON-round-tripped) obs digest for readers.
+
+    :func:`digest` keys ``per_socket`` (and the per-socket hot-line
+    table) by ``str(socket)`` so the artifact survives a JSON round-trip
+    byte-identically.  Every in-tree *reader* wants integer sockets and
+    ``(line, count)`` tuples back; this is the one place that converts,
+    so readers stop carrying ad-hoc casts.  Accepts both freshly-built
+    digests and ones loaded from JSON; raises ``ValueError`` on a
+    schema mismatch so stale artifacts fail loudly.
+    """
+    schema = data.get("schema")
+    if schema != DIGEST_SCHEMA:
+        raise ValueError(f"not an obs digest: schema {schema!r} "
+                         f"(expected {DIGEST_SCHEMA!r})")
+    out = dict(data)
+    out["per_socket"] = {int(socket): dict(cats)
+                         for socket, cats
+                         in data.get("per_socket", {}).items()}
+    out["hot_conflict_lines_by_socket"] = {
+        int(socket): [(line, count) for line, count in ranked]
+        for socket, ranked
+        in data.get("hot_conflict_lines_by_socket", {}).items()}
+    for key in ("hot_conflict_lines", "hot_access_lines"):
+        out[key] = [(line, count) for line, count in data.get(key, [])]
+    return out
 
 
 def format_breakdown(attribution: Attribution,

@@ -72,6 +72,7 @@ class ObsSession:
         #: finalize from the scheduler's core map + the machine topology.
         self.thread_sockets: Dict[int, int] = {}
         self.stall_cycles_total = 0
+        self.quiesce_cycles_total = 0
         self.makespan = 0
         self.runnable_sample_every = runnable_sample_every
         self._seq = 0
@@ -164,6 +165,7 @@ class ObsSession:
         self._schedulers.append(scheduler)
         self._wrap_step(scheduler)
         self._wrap_stall(scheduler)
+        self._wrap_quiesce(scheduler)
         self._wrap_execute(scheduler)
 
     def record_spin(self, category: str, vid: int, count: int) -> None:
@@ -479,6 +481,22 @@ class ObsSession:
             return original(cycles)
 
         self._install(scheduler, "stall_all", wrapped)
+
+    def _wrap_quiesce(self, scheduler) -> None:
+        original = scheduler.quiesce_all
+        session = self
+        quiesce_counter = self.registry.counter(
+            "vid_reset_quiesce_cycles_total")
+
+        @functools.wraps(original)
+        def wrapped(cycles):
+            if cycles > 0:
+                session.quiesce_cycles_total += cycles
+                session._event("quiesce", ts=scheduler.now(), cycles=cycles)
+                quiesce_counter.inc(cycles)
+            return original(cycles)
+
+        self._install(scheduler, "quiesce_all", wrapped)
 
     def _wrap_execute(self, scheduler) -> None:
         executor = scheduler.executor

@@ -99,6 +99,11 @@ class Scheduler:
         self.max_steps = max_steps
         self.threads: List[ThreadHandle] = []
         self._core_clock: Dict[int, int] = {}
+        if hasattr(system, "quiesce_cb"):
+            # Late-bound on purpose: the obs session replaces
+            # ``quiesce_all`` in the instance dict, and the callback must
+            # go through that wrapper to be attributed.
+            system.quiesce_cb = lambda cycles: self.quiesce_all(cycles)
 
     def add_thread(self, tid: int, core: int, program: Program,
                    start_clock: int = 0) -> ThreadHandle:
@@ -145,6 +150,24 @@ class Scheduler:
         backoff delay between a transaction abort and the next speculative
         attempt.  Charging all clocks equally keeps relative thread timing
         (and therefore the conflict-detection interleaving) deterministic.
+        """
+        if cycles <= 0:
+            return
+        for thread in self.threads:
+            thread.clock += cycles
+        for core in self._core_clock:
+            self._core_clock[core] += cycles
+
+    def quiesce_all(self, cycles: int) -> None:
+        """Machine-wide quiesce barrier: the section 4.6 reset scrub.
+
+        Same clock mechanics as :meth:`stall_all` (every thread and core
+        advances together, so relative timing and conflict interleaving
+        are untouched), but a separate entry point so the observability
+        layer can attribute the stalled cycles to ``vid_reset`` rather
+        than contention-manager backoff.  Installed on the system as
+        ``quiesce_cb``: the reset is triggered from inside a thread's
+        generator, which has no scheduler reference of its own.
         """
         if cycles <= 0:
             return

@@ -36,6 +36,7 @@ from ..experiments.engine import (
     request_options,
 )
 from ..experiments.reporting import format_table
+from ..obs.profile import load_digest
 from ..obs.registry import Histogram
 
 LATENCY_SCHEMA = "hmtx-svc-latency/1"
@@ -66,7 +67,7 @@ def latency_spec(workload: str = "svc-kv", scale: float = 1.0,
 
 def _series_quantiles(digest: Optional[Dict[str, Any]],
                       series: str) -> Dict[str, Any]:
-    histograms = (digest or {}).get("histograms", {})
+    histograms = load_digest(digest)["histograms"] if digest else {}
     snap = histograms.get(series)
     if snap is None:
         return {"count": 0,

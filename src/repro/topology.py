@@ -67,6 +67,13 @@ class TopologySpec:
     #: Home-socket interleaving function; ``"line"`` round-robins line
     #: addresses across sockets (the only scheme currently modelled).
     home_interleave: str = "line"
+    #: Multiplier on the section 4.6 reset-scrub stall
+    #: (:meth:`reset_scrub_latency`).  1.0 is the physical model; the
+    #: what-if profiler (``python -m repro obs whatif``) perturbs it to
+    #: measure how much of the makespan is causally downstream of the
+    #: scrub barrier.  Flat (1-socket) machines have no barrier and
+    #: ignore it.
+    scrub_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.sockets < 1:
@@ -82,6 +89,9 @@ class TopologySpec:
                      "cross_hop_latency"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        if self.scrub_scale <= 0:
+            raise ValueError(f"scrub_scale must be > 0, "
+                             f"got {self.scrub_scale}")
 
     # ------------------------------------------------------------------
     # Shape
@@ -159,9 +169,12 @@ class TopologySpec:
         """
         if self.sockets == 1:
             return base_latency
-        return (self.multicast_latency(base_latency)
-                + self.sockets * slice_latency
-                + self.cross_hop_latency)
+        stall = (self.multicast_latency(base_latency)
+                 + self.sockets * slice_latency
+                 + self.cross_hop_latency)
+        # scrub_scale == 1.0 is exact identity (round(1.0 * int) == int),
+        # so the physical model is bit-identical to the pre-knob machine.
+        return int(round(self.scrub_scale * stall))
 
     # ------------------------------------------------------------------
     # Description (reports, tables)
@@ -169,7 +182,7 @@ class TopologySpec:
 
     def describe(self) -> Dict[str, int]:
         """Plain-data shape summary for report artifacts."""
-        return {
+        shape = {
             "sockets": self.sockets,
             "cores_per_socket": self.cores_per_socket,
             "num_cores": self.num_cores,
@@ -179,6 +192,11 @@ class TopologySpec:
             "intra_hop_latency": self.intra_hop_latency,
             "cross_hop_latency": self.cross_hop_latency,
         }
+        if self.scrub_scale != 1.0:
+            # Only a perturbed machine reports the knob, so existing
+            # artifacts (REPORT_scaling.json) keep their exact shape.
+            shape["scrub_scale"] = self.scrub_scale
+        return shape
 
 
 # ----------------------------------------------------------------------

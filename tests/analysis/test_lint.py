@@ -255,7 +255,7 @@ class TestWholeTree:
 
     def test_rule_catalog_is_documented(self):
         assert set(LINT_RULES) == {"RL001", "RL002", "RL003", "RL004",
-                                   "RL005", "RL006", "RL007"}
+                                   "RL005", "RL006", "RL007", "RL008"}
         assert default_lint_root().name == "repro"
 
 class TestDeterminism:
@@ -313,4 +313,60 @@ class TestDeterminism:
             def digest(items):
                 # lint-ok: RL007 (order folds into a commutative xor)
                 return [x for x in set(items)]
+            """) == []
+
+
+class TestArtifactWallclock:
+    def test_wallclock_in_write_text_function_is_rl008(self):
+        findings = lint("""
+            def write_report(path, rows):
+                stamp = time.time()
+                path.write_text(json.dumps({"rows": rows,
+                                            "when": stamp}))
+            """)
+        assert rules_of(findings) == ["RL008"]
+
+    def test_wallclock_in_json_dump_function_is_rl008(self):
+        findings = lint("""
+            def emit(fh, rows):
+                json.dump({"rows": rows,
+                           "elapsed": time.perf_counter()}, fh)
+            """)
+        assert rules_of(findings) == ["RL008"]
+
+    def test_wallclock_near_open_for_write_is_rl008(self):
+        findings = lint("""
+            def save(path, rows):
+                started = time.monotonic()
+                with open(path, "w") as fh:
+                    fh.write(repr(rows))
+            """)
+        assert rules_of(findings) == ["RL008"]
+
+    def test_open_for_read_is_not_an_artifact_writer(self):
+        assert lint("""
+            def load(path):
+                waited = time.monotonic()
+                with open(path) as fh:
+                    return fh.read(), waited
+            """) == []
+
+    def test_wallclock_without_write_is_clean(self):
+        assert lint("""
+            def measure():
+                return time.perf_counter()
+            """) == []
+
+    def test_write_without_wallclock_is_clean(self):
+        assert lint("""
+            def write_report(path, rows):
+                path.write_text(json.dumps({"rows": rows}))
+            """) == []
+
+    def test_marker_with_reason_suppresses_rl008(self):
+        assert lint("""
+            def write_report(path, rows):
+                wall = time.perf_counter()  # lint-ok: RL008 (printed only, never written)
+                path.write_text(json.dumps({"rows": rows}))
+                print(wall)
             """) == []

@@ -84,3 +84,81 @@ class TestObsCli:
                          "--policy", "backoff", "--format", "json"])
         assert rc == 0
         assert json.loads(capsys.readouterr().out)["reconcile"]["ok"]
+
+
+class TestOverheadJson:
+    def test_overhead_check_json_carries_ratio_and_verdict(self, capsys):
+        rc = obs_main(["contended-list", "--scale", "0.25",
+                       "--policy", "backoff", "--overhead-check",
+                       "--repeat", "1", "--overhead-limit", "50",
+                       "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert report["schema"] == "hmtx-obs-overhead/1"
+        assert report["workload"] == "contended-list"
+        assert report["slowdown"] > 0
+        assert report["limit"] == 50.0
+        assert report["ok"] is True
+        assert report["instrumented_ops_per_sec"] > 0
+
+
+class TestRegressionObservatoryCli:
+    def test_history_roundtrip_and_zero_self_diff(self, capsys, tmp_path):
+        store = str(tmp_path / "hist")
+        for _ in range(2):
+            rc = obs_main(["contended-list", "--scale", "0.25",
+                           "--history", store])
+            assert rc == 0
+        capsys.readouterr()
+        rc = obs_main(["history", "--store", store])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 generation(s)" in out
+        rc = obs_main(["diff", "HEAD~1", "HEAD", "--store", store,
+                       "--check-zero"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ZERO DELTA" in out
+
+    def test_diff_json_artifact_written(self, capsys, tmp_path):
+        store = str(tmp_path / "hist")
+        obs_main(["contended-list", "--scale", "0.25",
+                  "--history", store])
+        capsys.readouterr()
+        output = tmp_path / "diff.json"
+        rc = obs_main(["diff", "HEAD", "HEAD", "--store", store,
+                       "--format", "json", "--output", str(output)])
+        printed = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert printed["schema"] == "hmtx-obs-diff/1"
+        assert printed["zero"] is True
+        assert json.loads(output.read_text()) == printed
+
+    def test_diff_bad_ref_exits_2(self, capsys, tmp_path):
+        rc = obs_main(["diff", "HEAD~1", "HEAD",
+                       "--store", str(tmp_path / "none")])
+        assert rc == 2
+        assert "obs diff:" in capsys.readouterr().err
+
+    def test_history_export_bundle(self, capsys, tmp_path):
+        store = str(tmp_path / "hist")
+        obs_main(["contended-list", "--scale", "0.25",
+                  "--history", store])
+        capsys.readouterr()
+        out_path = tmp_path / "bundle.json"
+        rc = obs_main(["history", "--store", store,
+                       "--export", str(out_path)])
+        assert rc == 0
+        bundle = json.loads(out_path.read_text())
+        assert bundle["schema"] == "hmtx-obs-digests/1"
+        assert bundle["entries"][0]["workload"] == "contended-list"
+
+    def test_whatif_quick_smoke(self, capsys, tmp_path):
+        rc = obs_main(["whatif", "--quick", "--output",
+                       str(tmp_path / "w.json")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "reset_scrub" in out
+        report = json.loads((tmp_path / "w.json").read_text())
+        assert report["schema"] == "hmtx-obs-whatif/1"
+        assert [c["preset"] for c in report["combos"]] == ["2s8c"]

@@ -1,0 +1,128 @@
+"""The cross-run digest history store: generations, refs, dedupe."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.engine import RunRequest, SweepEngine
+from repro.obs.history import (
+    BUNDLE_SCHEMA,
+    HISTORY_SCHEMA,
+    HistoryStore,
+    digest_id,
+    format_history,
+    git_describe,
+)
+
+
+def observed_pairs(workload="contended-list", scale=0.5, **kwargs):
+    engine = SweepEngine()
+    request = RunRequest(workload=workload, system="hmtx", scale=scale,
+                         observe=True, **kwargs)
+    engine.run([request])
+    assert engine.observed_pairs, "engine should collect observed runs"
+    return engine.observed_pairs
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    return observed_pairs()
+
+
+class TestAppend:
+    def test_one_generation_per_append(self, tmp_path, pairs):
+        store = HistoryStore(tmp_path / "h")
+        first = store.append_runs(pairs, source="test", git="g1")
+        second = store.append_runs(pairs, source="test", git="g2")
+        assert first == {"generation": 1, "runs": 1, "new_digests": 1}
+        # Identical payload: a new generation, zero new digest bytes.
+        assert second == {"generation": 2, "runs": 1, "new_digests": 0}
+        assert len(store.runs()) == 2
+        assert len(store.digests()) == 1
+
+    def test_run_lines_carry_schema_and_digest_id(self, tmp_path, pairs):
+        store = HistoryStore(tmp_path / "h")
+        store.append_runs(pairs, source="test", git="g")
+        (run,) = store.runs()
+        assert run["schema"] == HISTORY_SCHEMA
+        assert run["workload"] == "contended-list"
+        assert run["digest_id"] == digest_id(pairs[0][1].obs_digest)
+        assert run["makespan"] == pairs[0][1].cycles
+
+    def test_unobserved_pairs_allocate_no_generation(self, tmp_path, pairs):
+        store = HistoryStore(tmp_path / "h")
+        bare = [(request,
+                 dataclasses.replace(record, obs_digest=None))
+                for request, record in pairs]
+        out = store.append_runs(bare, source="test", git="g")
+        assert out == {"generation": None, "runs": 0, "new_digests": 0}
+        assert not store.runs_path.exists()
+
+
+class TestResolve:
+    @pytest.fixture()
+    def store(self, tmp_path, pairs):
+        store = HistoryStore(tmp_path / "h")
+        store.append_runs(pairs, source="a", git="one")
+        store.append_runs(pairs, source="b", git="two")
+        store.append_runs(pairs, source="c", git="two")
+        return store
+
+    def test_head_refs(self, store):
+        assert [r["generation"] for r in store.resolve("HEAD")] == [3]
+        assert [r["generation"] for r in store.resolve("HEAD~1")] == [2]
+        assert [r["generation"] for r in store.resolve("HEAD~2")] == [1]
+
+    def test_gen_and_git_refs(self, store):
+        assert store.resolve("gen:1")[0]["source"] == "a"
+        # git: picks the newest generation under the label.
+        assert store.resolve("git:two")[0]["source"] == "c"
+
+    def test_digest_is_inlined(self, store, pairs):
+        (run,) = store.resolve("HEAD")
+        # The stored payload went through JSON (tuples become lists);
+        # load_digest is the normalizing equality.
+        from repro.obs.profile import load_digest
+        assert load_digest(run["digest"]) \
+            == load_digest(pairs[0][1].obs_digest)
+
+    def test_bad_refs_raise_keyerror(self, store, tmp_path):
+        with pytest.raises(KeyError):
+            store.resolve("nonsense")
+        with pytest.raises(KeyError):
+            store.resolve("HEAD~9")
+        with pytest.raises(KeyError):
+            store.resolve("gen:42")
+        with pytest.raises(KeyError):
+            store.resolve("git:never")
+        with pytest.raises(KeyError):
+            HistoryStore(tmp_path / "empty").resolve("HEAD")
+
+    def test_export_bundle(self, store):
+        bundle = store.export_bundle("HEAD")
+        assert bundle["schema"] == BUNDLE_SCHEMA
+        (entry,) = bundle["entries"]
+        assert entry["workload"] == "contended-list"
+        assert entry["digest"]["schema"] == "hmtx-obs-digest/1"
+        # The bundle is JSON round-trippable as committed baselines are.
+        assert json.loads(json.dumps(bundle)) == bundle
+
+    def test_format_history_lists_generations(self, store):
+        text = format_history(store)
+        assert "3 generation(s)" in text
+        assert "HEAD" in text and "gen:3" in text
+
+
+class TestEngineCollection:
+    def test_cache_hits_are_not_recollected(self):
+        engine = SweepEngine()
+        request = RunRequest(workload="contended-list", system="hmtx",
+                             scale=0.5, observe=True)
+        engine.run([request])
+        engine.run([request])  # cache hit
+        assert len(engine.observed_pairs) == 1
+
+
+def test_git_describe_degrades_to_unknown(tmp_path):
+    assert git_describe(cwd=str(tmp_path)) == "unknown"
